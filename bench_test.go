@@ -1,0 +1,514 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation,
+// micro-benchmarks of the pipeline's hot building blocks, and ablation
+// benchmarks for the design choices called out in DESIGN.md.
+//
+// The table/figure benchmarks run the full 29-workload sweep at a reduced
+// problem size per iteration and report the paper's headline metrics via
+// b.ReportMetric, so `go test -bench=.` both exercises and summarizes the
+// reproduction.
+package needle_test
+
+import (
+	"fmt"
+	"strings"
+	"sync"
+	"testing"
+
+	"needle/internal/ballarus"
+	"needle/internal/cgra"
+	"needle/internal/core"
+	"needle/internal/frame"
+	"needle/internal/interp"
+	"needle/internal/mem"
+	"needle/internal/ooo"
+	"needle/internal/profile"
+	"needle/internal/region"
+	"needle/internal/sim"
+	"needle/internal/spec"
+	"needle/internal/tables"
+	"needle/internal/workloads"
+)
+
+// benchN is the problem size for sweep benchmarks: large enough for the
+// shapes to hold, small enough that each iteration stays subsecond.
+const benchN = 1500
+
+var (
+	suiteOnce sync.Once
+	suiteVal  *tables.Suite
+	suiteErr  error
+)
+
+// sharedSuite amortizes one sweep across the render-only benchmarks.
+func sharedSuite(b *testing.B) *tables.Suite {
+	b.Helper()
+	suiteOnce.Do(func() {
+		cfg := core.DefaultConfig()
+		cfg.N = benchN
+		suiteVal, suiteErr = tables.Run(cfg)
+	})
+	if suiteErr != nil {
+		b.Fatal(suiteErr)
+	}
+	return suiteVal
+}
+
+func benchTable(b *testing.B, render func(*tables.Suite) string) {
+	s := sharedSuite(b)
+	b.ResetTimer()
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = render(s)
+	}
+	if len(out) < 50 {
+		b.Fatalf("table output too short:\n%s", out)
+	}
+	b.ReportMetric(float64(strings.Count(out, "\n")), "rows")
+}
+
+func BenchmarkTableI(b *testing.B)  { benchTable(b, (*tables.Suite).TableI) }
+func BenchmarkTableII(b *testing.B) { benchTable(b, (*tables.Suite).TableII) }
+func BenchmarkTableIII(b *testing.B) {
+	benchTable(b, (*tables.Suite).TableIII)
+}
+func BenchmarkTableIV(b *testing.B) { benchTable(b, (*tables.Suite).TableIV) }
+func BenchmarkTableV(b *testing.B)  { benchTable(b, (*tables.Suite).TableV) }
+func BenchmarkTableHLS(b *testing.B) {
+	benchTable(b, (*tables.Suite).TableHLS)
+}
+func BenchmarkFigure4(b *testing.B) { benchTable(b, (*tables.Suite).Figure4) }
+func BenchmarkFigure5(b *testing.B) { benchTable(b, (*tables.Suite).Figure5) }
+func BenchmarkFigure6(b *testing.B) { benchTable(b, (*tables.Suite).Figure6) }
+
+// BenchmarkFigure3 regenerates the infeasible-superblock demonstration from
+// scratch each iteration (profiling included).
+func BenchmarkFigure3(b *testing.B) {
+	var out string
+	for i := 0; i < b.N; i++ {
+		out = tables.Figure3()
+	}
+	if !strings.Contains(out, "feasible=false") {
+		b.Fatalf("figure 3 lost its point:\n%s", out)
+	}
+}
+
+// BenchmarkFigure9 re-runs the full offload evaluation sweep per iteration
+// and reports the paper's headline means.
+func BenchmarkFigure9(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.N = benchN
+	var braidMean, oracleMean float64
+	for i := 0; i < b.N; i++ {
+		s, err := tables.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		braidMean, oracleMean = 0, 0
+		for _, a := range s.Analyses {
+			braidMean += a.BraidChoice.Result.Improvement
+			oracleMean += a.PathOracle.Improvement
+		}
+		braidMean /= float64(len(s.Analyses))
+		oracleMean /= float64(len(s.Analyses))
+	}
+	b.ReportMetric(braidMean*100, "braid-%")
+	b.ReportMetric(oracleMean*100, "path-oracle-%")
+}
+
+// BenchmarkFigure10 reports the mean braid energy reduction.
+func BenchmarkFigure10(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.N = benchN
+	var energyMean float64
+	for i := 0; i < b.N; i++ {
+		s, err := tables.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		energyMean = 0
+		for _, a := range s.Analyses {
+			energyMean += a.BraidChoice.Result.EnergyReduction
+		}
+		energyMean /= float64(len(s.Analyses))
+	}
+	b.ReportMetric(energyMean*100, "energy-%")
+}
+
+// ---- micro-benchmarks of the pipeline building blocks ----
+
+// BenchmarkInterpreter measures raw interpretation throughput.
+func BenchmarkInterpreter(b *testing.B) {
+	w := workloads.ByName("456.hmmer")
+	f, args, memory := w.Instance(2000)
+	b.ResetTimer()
+	var steps int64
+	for i := 0; i < b.N; i++ {
+		work := make([]uint64, len(memory))
+		copy(work, memory)
+		res, err := interp.Run(f, args, work, nil, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps = res.Steps
+	}
+	b.ReportMetric(float64(steps), "instrs/run")
+}
+
+// BenchmarkPathProfiling measures Ball-Larus profiling overhead on top of
+// interpretation.
+func BenchmarkPathProfiling(b *testing.B) {
+	w := workloads.ByName("456.hmmer")
+	f, args, memory := w.Instance(2000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([]uint64, len(memory))
+		copy(work, memory)
+		if _, err := profile.CollectFunction(f, args, work, false, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkPathDecode measures path-ID decoding.
+func BenchmarkPathDecode(b *testing.B) {
+	f := workloads.ByName("186.crafty").Function()
+	dag, err := ballarus.Build(f)
+	if err != nil {
+		b.Fatal(err)
+	}
+	n := dag.NumPaths()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := dag.Decode(int64(i) % n); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkBraidConstruction measures braid formation on a rich profile.
+func BenchmarkBraidConstruction(b *testing.B) {
+	w := workloads.ByName("453.povray")
+	f, args, memory := w.Instance(3000)
+	fp, err := profile.CollectFunction(f, args, memory, true, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if braids := region.BuildBraids(fp, 0); len(braids) == 0 {
+			b.Fatal("no braids")
+		}
+	}
+}
+
+// BenchmarkFrameBuild measures software frame construction.
+func BenchmarkFrameBuild(b *testing.B) {
+	w := workloads.ByName("470.lbm")
+	f, args, memory := w.Instance(500)
+	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	r := region.FromPath(f, fp.HottestPath())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := frame.Build(r, frame.Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkCGRASchedule measures dataflow scheduling of a large frame.
+func BenchmarkCGRASchedule(b *testing.B) {
+	w := workloads.ByName("swaptions")
+	f, args, memory := w.Instance(1000)
+	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := cgra.Schedule(fr, cgra.DefaultConfig())
+		if s.DataflowCycles == 0 {
+			b.Fatal("empty schedule")
+		}
+	}
+}
+
+// BenchmarkOOOModel measures the host timing model's streaming throughput.
+func BenchmarkOOOModel(b *testing.B) {
+	w := workloads.ByName("183.equake")
+	f, args, memory := w.Instance(1000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		work := make([]uint64, len(memory))
+		copy(work, memory)
+		m := ooo.New(ooo.DefaultConfig(), f.NumRegs(), mem.New(mem.Config{}))
+		if _, err := interp.Run(f, args, work, m.Hooks(), 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- ablation benchmarks (design choices from DESIGN.md) ----
+
+func captureFor(b *testing.B, name string, n int) *sim.Trace {
+	b.Helper()
+	w := workloads.ByName(name)
+	f, args, memory := w.Instance(n)
+	tr, err := sim.Capture(f, args, memory, sim.DefaultConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return tr
+}
+
+// BenchmarkAblationGuardPlacement compares async guards (full hoisting)
+// against serialized guards on the hottest lbm path frame.
+func BenchmarkAblationGuardPlacement(b *testing.B) {
+	tr := captureFor(b, "470.lbm", 500)
+	r := region.FromPath(tr.Profile.F, tr.Profile.HottestPath())
+	for _, pc := range []struct {
+		name string
+		p    frame.GuardPlacement
+	}{{"async", frame.GuardsAsync}, {"serialize", frame.GuardsSerialize}} {
+		b.Run(pc.name, func(b *testing.B) {
+			var cp int
+			for i := 0; i < b.N; i++ {
+				fr, err := frame.Build(r, frame.Options{Placement: pc.p})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cp = fr.CriticalPath()
+			}
+			b.ReportMetric(float64(cp), "critical-path")
+		})
+	}
+}
+
+// BenchmarkAblationMemOrdering compares speculative versus conservative
+// in-frame memory ordering (the paper's full memory speculation claim).
+func BenchmarkAblationMemOrdering(b *testing.B) {
+	tr := captureFor(b, "470.lbm", 500)
+	r := region.FromPath(tr.Profile.F, tr.Profile.HottestPath())
+	for _, mo := range []struct {
+		name string
+		o    frame.MemOrdering
+	}{{"speculative", frame.MemSpeculative}, {"conservative", frame.MemConservative}} {
+		b.Run(mo.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				fr, err := frame.Build(r, frame.Options{Ordering: mo.o})
+				if err != nil {
+					b.Fatal(err)
+				}
+				cycles = cgra.Schedule(fr, cgra.DefaultConfig()).DataflowCycles
+			}
+			b.ReportMetric(float64(cycles), "dataflow-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPredictor compares invocation policies on a noisy
+// workload (bodytrack) where prediction decides profitability.
+func BenchmarkAblationPredictor(b *testing.B) {
+	tr := captureFor(b, "bodytrack", 2000)
+	cfg := sim.DefaultConfig()
+	tgt, err := sim.NewPathTarget(tr.Profile, tr.Profile.HottestPath(), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	preds := []struct {
+		name string
+		mk   func() spec.Predictor
+	}{
+		{"always", func() spec.Predictor { return spec.Always{} }},
+		{"history", func() spec.Predictor { return spec.NewHistory(12) }},
+		{"oracle", func() spec.Predictor { return &spec.Oracle{} }},
+	}
+	for _, pd := range preds {
+		b.Run(pd.name, func(b *testing.B) {
+			var imp float64
+			for i := 0; i < b.N; i++ {
+				res := sim.Evaluate(tr, tgt, pd.mk(), cfg)
+				imp = res.Improvement
+			}
+			b.ReportMetric(imp*100, "improvement-%")
+		})
+	}
+}
+
+// BenchmarkAblationBraidMergeBound compares unlimited merging against
+// merging only the top 2 paths per braid.
+func BenchmarkAblationBraidMergeBound(b *testing.B) {
+	tr := captureFor(b, "453.povray", 2000)
+	for _, bound := range []struct {
+		name string
+		k    int
+	}{{"unbounded", 0}, {"top2", 2}} {
+		b.Run(bound.name, func(b *testing.B) {
+			var cov float64
+			for i := 0; i < b.N; i++ {
+				braids := region.BuildBraids(tr.Profile, bound.k)
+				cov = braids[0].Coverage(tr.Profile)
+			}
+			b.ReportMetric(cov*100, "coverage-%")
+		})
+	}
+}
+
+// BenchmarkAblationUndoCost sweeps the undo-log overhead per store.
+func BenchmarkAblationUndoCost(b *testing.B) {
+	tr := captureFor(b, "456.hmmer", 2000)
+	r := region.FromPath(tr.Profile.F, tr.Profile.HottestPath())
+	for _, undo := range []int{1, 2, 4} {
+		name := []string{"", "light", "default", "", "heavy"}[undo]
+		b.Run(name, func(b *testing.B) {
+			var invoke int64
+			for i := 0; i < b.N; i++ {
+				fr, err := frame.Build(r, frame.Options{UndoOpsPerStore: undo})
+				if err != nil {
+					b.Fatal(err)
+				}
+				invoke = cgra.Schedule(fr, cgra.DefaultConfig()).InvokeCycles()
+			}
+			b.ReportMetric(float64(invoke), "invoke-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationPathExpansion measures Section IV-A target expansion:
+// cycles per loop iteration of a cold invocation shrink as more path
+// instances are sequenced into one offload unit.
+func BenchmarkAblationPathExpansion(b *testing.B) {
+	tr := captureFor(b, "183.equake", 1000)
+	r := region.FromPath(tr.Profile.F, tr.Profile.HottestPath())
+	base, err := frame.Build(r, frame.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, unroll := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("x%d", unroll), func(b *testing.B) {
+			var perIter float64
+			for i := 0; i < b.N; i++ {
+				ex, err := frame.Expand(base, unroll)
+				if err != nil {
+					b.Fatal(err)
+				}
+				s := cgra.Schedule(ex, cgra.DefaultConfig())
+				perIter = float64(s.InvokeCycles()) / float64(unroll)
+			}
+			b.ReportMetric(perIter, "cycles/iter")
+		})
+	}
+}
+
+// BenchmarkAblationRankingMetric compares the paper's frequency-times-ops
+// path weight against pure frequency ranking: the Pwt pick must cover at
+// least as much dynamic execution.
+func BenchmarkAblationRankingMetric(b *testing.B) {
+	tr := captureFor(b, "453.povray", 2000)
+	fp := tr.Profile
+	var covWeight, covFreq float64
+	for i := 0; i < b.N; i++ {
+		covWeight = fp.HottestPath().Coverage(fp)
+		best := fp.Paths[0]
+		for _, p := range fp.Paths {
+			if p.Freq > best.Freq {
+				best = p
+			}
+		}
+		covFreq = best.Coverage(fp)
+	}
+	b.ReportMetric(covWeight*100, "Pwt-coverage-%")
+	b.ReportMetric(covFreq*100, "freq-coverage-%")
+	if covWeight < covFreq-1e-9 {
+		b.Fatal("weight ranking must not lose to frequency ranking on coverage")
+	}
+}
+
+// BenchmarkFigure2 regenerates the design-space comparison (non-speculative
+// hyperblock vs speculative path/braid offload).
+func BenchmarkFigure2(b *testing.B) { benchTable(b, (*tables.Suite).Figure2) }
+
+// BenchmarkAblationHostBranchPredictor compares the paper's perfect-BP host
+// baseline against a gshare host: a weaker host makes offload look better,
+// which is why the paper's conservative choice matters.
+func BenchmarkAblationHostBranchPredictor(b *testing.B) {
+	w := workloads.ByName("186.crafty")
+	f, args, memory := w.Instance(3000)
+	for _, pc := range []struct {
+		name string
+		real bool
+	}{{"perfect", false}, {"gshare", true}} {
+		b.Run(pc.name, func(b *testing.B) {
+			var cycles int64
+			for i := 0; i < b.N; i++ {
+				cfg := ooo.DefaultConfig()
+				cfg.RealBranchPredictor = pc.real
+				m := ooo.New(cfg, f.NumRegs(), mem.New(mem.Config{}))
+				work := make([]uint64, len(memory))
+				copy(work, memory)
+				if _, err := interp.Run(f, args, work, m.Hooks(), 0); err != nil {
+					b.Fatal(err)
+				}
+				cycles = m.Cycles()
+			}
+			b.ReportMetric(float64(cycles), "host-cycles")
+		})
+	}
+}
+
+// BenchmarkAblationRouting compares placement-derived routing energy with
+// the optimistic uniform one-hop assumption.
+func BenchmarkAblationRouting(b *testing.B) {
+	tr := captureFor(b, "456.hmmer", 2000)
+	fr, err := frame.Build(region.FromPath(tr.Profile.F, tr.Profile.HottestPath()), frame.Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, rc := range []struct {
+		name    string
+		uniform bool
+	}{{"placed", false}, {"uniform", true}} {
+		b.Run(rc.name, func(b *testing.B) {
+			cfg := cgra.DefaultConfig()
+			cfg.UniformRouting = rc.uniform
+			var opPJ float64
+			for i := 0; i < b.N; i++ {
+				opPJ = cgra.Schedule(fr, cfg).OpPJ
+			}
+			b.ReportMetric(opPJ, "pJ/op")
+		})
+	}
+}
+
+// BenchmarkAblationMergePolicy compares the paper's braid policy (shared
+// entry AND exit) against DySER-style path trees (shared entry only):
+// trees buy coverage at the cost of multiple exits and live-out sets.
+func BenchmarkAblationMergePolicy(b *testing.B) {
+	tr := captureFor(b, "175.vpr", 2000)
+	for _, pol := range []struct {
+		name  string
+		build func() []*region.Braid
+	}{
+		{"braid", func() []*region.Braid { return region.BuildBraids(tr.Profile, 0) }},
+		{"path-tree", func() []*region.Braid { return region.BuildPathTrees(tr.Profile, 0) }},
+	} {
+		b.Run(pol.name, func(b *testing.B) {
+			var cov float64
+			var exits int
+			for i := 0; i < b.N; i++ {
+				top := pol.build()[0]
+				cov = top.Coverage(tr.Profile)
+				exits = top.LiveOutSpread()
+			}
+			b.ReportMetric(cov*100, "coverage-%")
+			b.ReportMetric(float64(exits), "exit-blocks")
+		})
+	}
+}

@@ -1,0 +1,176 @@
+// Command needle runs the Needle pipeline: it profiles the benchmark
+// workloads, extracts and ranks Ball-Larus paths and braids, builds
+// software frames, and regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	needle -list                      list workloads
+//	needle -table II [-n 8000]        regenerate a table (I, II, III, IV, V, HLS)
+//	needle -figure 9 [-n 8000]        regenerate a figure (2, 3, 4, 5, 6, 9, 10)
+//	needle -all                       regenerate everything
+//	needle -workload 470.lbm          detailed single-workload report
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"needle/internal/core"
+	"needle/internal/ir"
+	"needle/internal/tables"
+	"needle/internal/workloads"
+)
+
+func main() {
+	var (
+		list     = flag.Bool("list", false, "list available workloads")
+		table    = flag.String("table", "", "regenerate a table: I, II, III, IV, V, HLS")
+		figure   = flag.String("figure", "", "regenerate a figure: 2, 3, 4, 5, 6, 9, 10")
+		all      = flag.Bool("all", false, "regenerate every table and figure")
+		workload = flag.String("workload", "", "detailed report for one workload")
+		n        = flag.Int("n", 0, "problem size override (0 = workload default)")
+		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (with -workload or alone for all)")
+		dotOut   = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload)")
+		nirOut   = flag.Bool("nir", false, "emit the workload's kernel as textual .nir (with -workload)")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Printf("%-20s %-8s %s\n", w.Name, w.Suite, w.Notes)
+		}
+		return
+	}
+
+	cfg := core.DefaultConfig()
+	cfg.N = *n
+
+	switch {
+	case *workload != "":
+		w := workloads.ByName(*workload)
+		if w == nil {
+			fatal("unknown workload %q (try -list)", *workload)
+		}
+		if *nirOut {
+			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
+			return
+		}
+		a, err := core.Analyze(w, cfg)
+		if err != nil {
+			fatal("analyze: %v", err)
+		}
+		if *jsonOut {
+			out, err := core.MarshalSummaries([]*core.Analysis{a})
+			if err != nil {
+				fatal("json: %v", err)
+			}
+			fmt.Println(string(out))
+			return
+		}
+		if *dotOut {
+			if a.HotBraidFrame == nil {
+				fatal("no frame to render for %s", *workload)
+			}
+			fmt.Print(a.HotBraidFrame.Dot())
+			return
+		}
+		report(a)
+	case *jsonOut:
+		as, err := core.AnalyzeAll(cfg)
+		if err != nil {
+			fatal("analysis sweep: %v", err)
+		}
+		out, err := core.MarshalSummaries(as)
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Println(string(out))
+	case *figure == "3":
+		fmt.Println(tables.Figure3())
+	case *table != "" || *figure != "" || *all:
+		s, err := tables.Run(cfg)
+		if err != nil {
+			fatal("analysis sweep: %v", err)
+		}
+		switch {
+		case *all:
+			fmt.Println(s.All())
+		case *table != "":
+			switch strings.ToUpper(*table) {
+			case "I":
+				fmt.Println(s.TableI())
+			case "II":
+				fmt.Println(s.TableII())
+			case "III":
+				fmt.Println(s.TableIII())
+			case "IV":
+				fmt.Println(s.TableIV())
+			case "V":
+				fmt.Println(s.TableV())
+			case "HLS":
+				fmt.Println(s.TableHLS())
+			default:
+				fatal("unknown table %q", *table)
+			}
+		default:
+			switch *figure {
+			case "2":
+				fmt.Println(s.Figure2())
+			case "4":
+				fmt.Println(s.Figure4())
+			case "5":
+				fmt.Println(s.Figure5())
+			case "6":
+				fmt.Println(s.Figure6())
+			case "9":
+				fmt.Println(s.Figure9())
+			case "10":
+				fmt.Println(s.Figure10())
+			default:
+				fatal("unknown figure %q", *figure)
+			}
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func report(a *core.Analysis) {
+	w := a.Workload
+	fmt.Printf("workload %s (%s): %s\n\n", w.Name, w.Suite, w.Notes)
+	fmt.Printf("profile: %d executed paths, top-1 coverage %.0f%%, top-5 %.0f%%\n",
+		a.Profile.NumExecutedPaths(), a.Profile.CoverageTopK(1)*100, a.Profile.CoverageTopK(5)*100)
+	st := a.CFStats
+	fmt.Printf("control flow: %d branches, %d back edges, Branch=>Mem %.1f, Mem=>Branch %.1f\n",
+		st.Branches, st.BackwardBranches, st.AvgBranchMem, st.AvgMemBranch)
+	hot := a.Profile.HottestPath()
+	fmt.Printf("hottest path: %d ops, %d branches, %d mem ops, freq %d\n",
+		hot.Ops, hot.Branches, hot.MemOps, hot.Freq)
+	if fr, err := a.PathFrame(0); err == nil {
+		fmt.Printf("path frame: %d dataflow ops, %d guards, %d phis cancelled, live %d in / %d out\n",
+			fr.NumOps(), fr.Guards, fr.Cancelled, len(fr.LiveIn), len(fr.LiveOut))
+	}
+	if br := a.HottestBraid(); br != nil {
+		fmt.Printf("hot braid: merges %d paths, coverage %.0f%%, %d ops, %d guards, %d IFs\n",
+			br.MergedPathCount(), br.Coverage(a.Profile)*100, br.NumOps(), br.Guards, br.IFs)
+	}
+	fmt.Printf("\noffload (host baseline %d cycles):\n", a.Trace.BaselineCycles)
+	fmt.Printf("  path+oracle : %+6.1f%%\n", a.PathOracle.Improvement*100)
+	fmt.Printf("  path+history: %+6.1f%% (precision %.2f)\n",
+		a.PathHistory.Improvement*100, a.PathHistory.Precision)
+	fmt.Printf("  braid (%s): %+6.1f%%, energy %+.1f%%, coverage %.0f%%\n",
+		a.BraidChoice.Policy, a.BraidChoice.Result.Improvement*100,
+		a.BraidChoice.Result.EnergyReduction*100, a.BraidChoice.Result.Coverage*100)
+	if a.HotBraidFrame != nil {
+		fmt.Printf("\nHLS estimate: %d ALMs (%.0f%% of Cyclone V), %.0f mW\n",
+			a.HLS.ALMs, a.HLS.Utilization*100, a.HLS.PowerMW)
+	}
+}
+
+func fatal(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "needle: "+format+"\n", args...)
+	os.Exit(1)
+}

@@ -1,0 +1,12 @@
+// Package needle is a from-scratch Go reproduction of "Needle: Leveraging
+// Program Analysis to Analyze and Extract Accelerators from Whole Programs"
+// (HPCA 2017).
+//
+// The implementation lives under internal/: a compiler IR and interpreter
+// substrate (ir, interp, analysis), Ball-Larus path profiling (ballarus,
+// profile), offload-region formation including the paper's Braids (region),
+// software frames with speculation support (frame, spec), hardware models
+// (ooo, mem, cgra, energy, hls), the whole-system simulator (sim), 29
+// benchmark kernels (workloads), and the pipeline plus experiment harness
+// (core, tables). See README.md and DESIGN.md.
+package needle

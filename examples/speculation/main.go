@@ -1,0 +1,112 @@
+// Speculation: atomic software frames, the undo log, and rollback.
+//
+// A frame may execute stores before a guard resolves; if the guard fires,
+// every externally visible write must be reverted (Figure 8). This example
+// builds a kernel that stores an updated value *before* a data-dependent
+// branch can abort the iteration, runs one successful and one failing frame
+// invocation, and shows memory being restored bit-for-bit on failure.
+//
+// Run with: go run ./examples/speculation
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"needle/internal/frame"
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/profile"
+	"needle/internal/region"
+	"needle/internal/spec"
+)
+
+const kernelSrc = `func @update_or_abort(i64, i64) {
+entry:
+  r3 = const.i64 0
+  br %head
+head:
+  r4 = phi.i64 [entry: r3] [latch: r5]
+  r6 = cmp.lt r4, r2
+  condbr r6, %body, %exit
+body:
+  r7 = add r1, r4
+  r8 = load.i64 r7
+  r9 = const.i64 1
+  r10 = add r8, r9
+  store.i64 r7, r10        ; speculative store, before the guard
+  r11 = const.i64 100
+  r12 = cmp.lt r8, r11
+  condbr r12, %latch, %abort
+abort:
+  ret r8
+latch:
+  r5 = add r4, r9
+  br %head
+exit:
+  ret r4
+}
+`
+
+func main() {
+	f, err := ir.ParseFunction(kernelSrc)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Profile on clean data to find the hot iteration path.
+	train := make([]uint64, 8)
+	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(8)}, train, false, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	hot := fp.HottestPath()
+	fr, err := frame.Build(region.FromPath(f, hot), frame.Options{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("hot path frame: %d ops, %d guards, %d store(s) instrumented with undo logging\n\n",
+		fr.NumOps(), fr.Guards, fr.Stores)
+
+	seed := func(mem []uint64) []uint64 {
+		regs := make([]uint64, len(f.RegType))
+		regs[1] = interp.IBits(0) // base
+		regs[2] = interp.IBits(8) // n
+		regs[3] = 0               // r3 = const 0 from the entry block
+		return regs
+	}
+
+	// Case 1: a clean invocation commits its store.
+	mem := make([]uint64, 8)
+	mem[0] = interp.IBits(41)
+	out, err := spec.ExecuteFrame(fr, seed(mem), mem, f.Entry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("clean invocation: success=%v ops=%d stores=%d  -> mem[0] = %d (committed)\n",
+		out.Success, out.Ops, out.Stores, interp.I(mem[0]))
+
+	// Case 2: poisoned data makes the guard fire AFTER the store executed.
+	mem2 := make([]uint64, 8)
+	mem2[0] = interp.IBits(500) // >= 100: the guard aborts this iteration
+	before := interp.I(mem2[0])
+	out2, err := spec.ExecuteFrame(fr, seed(mem2), mem2, f.Entry())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\npoisoned invocation: success=%v failedAt=%s stores-before-failure=%d\n",
+		out2.Success, out2.FailedAt, out2.Stores)
+	fmt.Printf("  mem[0] before=%d after=%d  -> rollback restored the speculative store\n",
+		before, interp.I(mem2[0]))
+
+	// The invocation predictor learns which histories fail.
+	fmt.Println("\ntraining the invocation history table:")
+	h := spec.NewHistory(4)
+	badHistory := uint64(0b0110)
+	for i := 0; i < 4; i++ {
+		h.Update(badHistory, false)
+	}
+	fmt.Printf("  after 4 failures at history %04b: invoke? %v\n", badHistory, h.Predict(badHistory))
+	goodHistory := uint64(0b1111)
+	fmt.Printf("  untrained history %04b:           invoke? %v\n", goodHistory, h.Predict(goodHistory))
+}

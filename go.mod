@@ -1,0 +1,3 @@
+module needle
+
+go 1.22

@@ -1,0 +1,359 @@
+// Package analysis provides the control-flow and dataflow analyses the
+// Needle pipeline builds on: reverse postorder, dominator trees, natural
+// loop detection, liveness, and an SSA dominance verifier.
+package analysis
+
+import (
+	"fmt"
+
+	"needle/internal/ir"
+)
+
+// ReversePostorder returns the blocks of f reachable from the entry in
+// reverse postorder. Unreachable blocks are omitted.
+func ReversePostorder(f *ir.Function) []*ir.Block {
+	seen := make([]bool, len(f.Blocks))
+	var post []*ir.Block
+	var dfs func(b *ir.Block)
+	dfs = func(b *ir.Block) {
+		seen[b.Index] = true
+		for _, s := range b.Succs() {
+			if !seen[s.Index] {
+				dfs(s)
+			}
+		}
+		post = append(post, b)
+	}
+	if e := f.Entry(); e != nil {
+		dfs(e)
+	}
+	for i, j := 0, len(post)-1; i < j; i, j = i+1, j-1 {
+		post[i], post[j] = post[j], post[i]
+	}
+	return post
+}
+
+// DomTree holds immediate-dominator information for a function.
+type DomTree struct {
+	f    *ir.Function
+	idom []*ir.Block // indexed by block index; entry's idom is itself
+	rpo  []*ir.Block
+	rpoN []int // rpo number per block index, -1 if unreachable
+}
+
+// Dominators computes the dominator tree using the Cooper-Harvey-Kennedy
+// iterative algorithm over reverse postorder.
+func Dominators(f *ir.Function) *DomTree {
+	rpo := ReversePostorder(f)
+	rpoN := make([]int, len(f.Blocks))
+	for i := range rpoN {
+		rpoN[i] = -1
+	}
+	for i, b := range rpo {
+		rpoN[b.Index] = i
+	}
+	idom := make([]*ir.Block, len(f.Blocks))
+	entry := f.Entry()
+	idom[entry.Index] = entry
+
+	intersect := func(a, b *ir.Block) *ir.Block {
+		for a != b {
+			for rpoN[a.Index] > rpoN[b.Index] {
+				a = idom[a.Index]
+			}
+			for rpoN[b.Index] > rpoN[a.Index] {
+				b = idom[b.Index]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, b := range rpo {
+			if b == entry {
+				continue
+			}
+			var newIdom *ir.Block
+			for _, p := range b.Preds {
+				if rpoN[p.Index] < 0 || idom[p.Index] == nil {
+					continue // unreachable or not yet processed
+				}
+				if newIdom == nil {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom != nil && idom[b.Index] != newIdom {
+				idom[b.Index] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &DomTree{f: f, idom: idom, rpo: rpo, rpoN: rpoN}
+}
+
+// Idom returns the immediate dominator of b, or nil for the entry block and
+// unreachable blocks.
+func (d *DomTree) Idom(b *ir.Block) *ir.Block {
+	id := d.idom[b.Index]
+	if id == b {
+		return nil
+	}
+	return id
+}
+
+// Dominates reports whether a dominates b (reflexively).
+func (d *DomTree) Dominates(a, b *ir.Block) bool {
+	if d.rpoN[b.Index] < 0 {
+		return false // unreachable blocks are dominated by nothing
+	}
+	for {
+		if a == b {
+			return true
+		}
+		next := d.idom[b.Index]
+		if next == nil || next == b {
+			return false
+		}
+		b = next
+	}
+}
+
+// RPO returns the reverse postorder computed alongside the tree.
+func (d *DomTree) RPO() []*ir.Block { return d.rpo }
+
+// Reachable reports whether the block is reachable from the entry.
+func (d *DomTree) Reachable(b *ir.Block) bool { return d.rpoN[b.Index] >= 0 }
+
+// Edge is a directed CFG edge.
+type Edge struct {
+	From, To *ir.Block
+}
+
+// BackEdges returns the back edges of f: edges u->v where v dominates u.
+// These are exactly the edges the Ball-Larus transformation removes, and the
+// "backward branches" Table I counts.
+func BackEdges(f *ir.Function, dom *DomTree) []Edge {
+	var edges []Edge
+	for _, b := range dom.RPO() {
+		for _, s := range b.Succs() {
+			if dom.Dominates(s, b) {
+				edges = append(edges, Edge{From: b, To: s})
+			}
+		}
+	}
+	return edges
+}
+
+// Loop is a natural loop: a header plus the set of blocks that can reach a
+// back edge into the header without leaving the loop.
+type Loop struct {
+	Header *ir.Block
+	Blocks map[*ir.Block]bool
+}
+
+// Contains reports whether the loop body includes b.
+func (l *Loop) Contains(b *ir.Block) bool { return l.Blocks[b] }
+
+// NaturalLoops finds all natural loops of f, merging loops that share a
+// header. Loops are returned in header RPO order.
+func NaturalLoops(f *ir.Function, dom *DomTree) []*Loop {
+	byHeader := make(map[*ir.Block]*Loop)
+	var order []*ir.Block
+	for _, e := range BackEdges(f, dom) {
+		l := byHeader[e.To]
+		if l == nil {
+			l = &Loop{Header: e.To, Blocks: map[*ir.Block]bool{e.To: true}}
+			byHeader[e.To] = l
+			order = append(order, e.To)
+		}
+		// Walk predecessors from the back-edge source until the header.
+		stack := []*ir.Block{e.From}
+		for len(stack) > 0 {
+			b := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			if l.Blocks[b] {
+				continue
+			}
+			l.Blocks[b] = true
+			for _, p := range b.Preds {
+				stack = append(stack, p)
+			}
+		}
+	}
+	loops := make([]*Loop, 0, len(order))
+	for _, h := range order {
+		loops = append(loops, byHeader[h])
+	}
+	return loops
+}
+
+// DefBlock returns, for each register, the block defining it (nil for
+// parameters and undefined registers). Indexed by register number.
+func DefBlock(f *ir.Function) []*ir.Block {
+	defs := make([]*ir.Block, len(f.RegType))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDest() {
+				defs[in.Dst] = b
+			}
+		}
+	}
+	return defs
+}
+
+// Liveness holds per-block live-in/live-out register sets.
+type Liveness struct {
+	In  []map[ir.Reg]bool // indexed by block index
+	Out []map[ir.Reg]bool
+}
+
+// ComputeLiveness runs backward dataflow liveness over the function.
+// Phi semantics: a phi's operand for predecessor P is live-out of P (not
+// live-in of the phi's block); the phi's destination is defined at the top
+// of its block.
+func ComputeLiveness(f *ir.Function) *Liveness {
+	n := len(f.Blocks)
+	lv := &Liveness{In: make([]map[ir.Reg]bool, n), Out: make([]map[ir.Reg]bool, n)}
+	for i := range lv.In {
+		lv.In[i] = make(map[ir.Reg]bool)
+		lv.Out[i] = make(map[ir.Reg]bool)
+	}
+
+	// use[b]: registers read in b before any redefinition, excluding phi
+	// operands (attributed to predecessors). def[b]: registers defined in b,
+	// including phi destinations.
+	use := make([]map[ir.Reg]bool, n)
+	def := make([]map[ir.Reg]bool, n)
+	// phiUse[p][s]: registers that predecessor p must supply to successor s's
+	// phis.
+	phiUse := make(map[*ir.Block]map[*ir.Block][]ir.Reg)
+	for _, b := range f.Blocks {
+		use[b.Index] = make(map[ir.Reg]bool)
+		def[b.Index] = make(map[ir.Reg]bool)
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for i, from := range in.Blocks {
+					m := phiUse[from]
+					if m == nil {
+						m = make(map[*ir.Block][]ir.Reg)
+						phiUse[from] = m
+					}
+					m[b] = append(m[b], in.Args[i])
+				}
+				def[b.Index][in.Dst] = true
+				continue
+			}
+			in.Uses(func(r ir.Reg) {
+				if !def[b.Index][r] {
+					use[b.Index][r] = true
+				}
+			})
+			if in.Op.HasDest() {
+				def[b.Index][in.Dst] = true
+			}
+		}
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for i := len(f.Blocks) - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := lv.Out[b.Index]
+			for _, s := range b.Succs() {
+				for r := range lv.In[s.Index] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+				for _, r := range phiUse[b][s] {
+					if !out[r] {
+						out[r] = true
+						changed = true
+					}
+				}
+			}
+			in := lv.In[b.Index]
+			for r := range use[b.Index] {
+				if !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+			for r := range out {
+				if !def[b.Index][r] && !in[r] {
+					in[r] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return lv
+}
+
+// VerifySSA checks the dominance property: every non-phi use of a register
+// is dominated by its definition, and every phi operand's definition
+// dominates the corresponding predecessor's exit. Parameters dominate
+// everything.
+func VerifySSA(f *ir.Function) error {
+	dom := Dominators(f)
+	defs := DefBlock(f)
+	defPos := make(map[ir.Reg]int) // instruction index within def block
+	for _, b := range f.Blocks {
+		for i, in := range b.Instrs {
+			if in.Op.HasDest() {
+				defPos[in.Dst] = i
+			}
+		}
+	}
+	isParam := func(r ir.Reg) bool { return int(r) <= f.NumParams() }
+
+	for _, b := range f.Blocks {
+		if !dom.Reachable(b) {
+			continue
+		}
+		for i, in := range b.Instrs {
+			if in.Op == ir.OpPhi {
+				for k, from := range in.Blocks {
+					r := in.Args[k]
+					if isParam(r) {
+						continue
+					}
+					db := defs[r]
+					if db == nil || !dom.Dominates(db, from) {
+						return fmt.Errorf("analysis: %s.%s: phi operand %s (from %s) not dominated by its definition",
+							f.Name, b.Name, r, from.Name)
+					}
+				}
+				continue
+			}
+			var err error
+			in.Uses(func(r ir.Reg) {
+				if err != nil || isParam(r) {
+					return
+				}
+				db := defs[r]
+				if db == nil {
+					err = fmt.Errorf("analysis: %s.%s: %s used but never defined", f.Name, b.Name, r)
+					return
+				}
+				if db == b {
+					if defPos[r] >= i {
+						err = fmt.Errorf("analysis: %s.%s: %s used before its definition in the same block", f.Name, b.Name, r)
+					}
+					return
+				}
+				if !dom.Dominates(db, b) {
+					err = fmt.Errorf("analysis: %s.%s: use of %s not dominated by its definition in %s", f.Name, b.Name, r, db.Name)
+				}
+			})
+			if err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,160 @@
+package analysis
+
+import "needle/internal/ir"
+
+// PostDomTree holds immediate post-dominator information. Returning blocks
+// (and blocks on endless paths, which verified functions do not have)
+// post-dominate to a virtual exit node.
+type PostDomTree struct {
+	f     *ir.Function
+	ipdom []int // indexed by block index; exit sentinel = len(blocks)
+	exit  int
+	order []int // blocks in reverse-graph RPO (i.e. postorder-ish) numbering
+	rpoN  []int
+}
+
+// PostDominators computes the post-dominator tree using the iterative
+// algorithm over the reverse CFG with a virtual exit joining all returns.
+func PostDominators(f *ir.Function) *PostDomTree {
+	n := len(f.Blocks)
+	exit := n
+	// Reverse-graph successors are preds; reverse-graph entry is exit.
+	// Build reverse postorder of the reverse graph starting at exit.
+	preds := make([][]int, n+1) // reverse-graph edges: preds[v] in reverse graph = succs of v in CFG
+	succs := make([][]int, n+1) // reverse-graph adjacency: from exit through preds
+	for _, b := range f.Blocks {
+		if t := b.Term(); t != nil && t.Op == ir.OpRet {
+			succs[exit] = append(succs[exit], b.Index)
+			preds[b.Index] = append(preds[b.Index], exit)
+		}
+		for _, s := range b.Succs() {
+			// CFG edge b->s is reverse edge s->b.
+			succs[s.Index] = append(succs[s.Index], b.Index)
+			preds[b.Index] = append(preds[b.Index], s.Index)
+		}
+	}
+
+	seen := make([]bool, n+1)
+	var post []int
+	var dfs func(v int)
+	dfs = func(v int) {
+		seen[v] = true
+		for _, w := range succs[v] {
+			if !seen[w] {
+				dfs(w)
+			}
+		}
+		post = append(post, v)
+	}
+	dfs(exit)
+	order := make([]int, 0, len(post))
+	for i := len(post) - 1; i >= 0; i-- {
+		order = append(order, post[i])
+	}
+	rpoN := make([]int, n+1)
+	for i := range rpoN {
+		rpoN[i] = -1
+	}
+	for i, v := range order {
+		rpoN[v] = i
+	}
+
+	ipdom := make([]int, n+1)
+	for i := range ipdom {
+		ipdom[i] = -1
+	}
+	ipdom[exit] = exit
+
+	intersect := func(a, b int) int {
+		for a != b {
+			for rpoN[a] > rpoN[b] {
+				a = ipdom[a]
+			}
+			for rpoN[b] > rpoN[a] {
+				b = ipdom[b]
+			}
+		}
+		return a
+	}
+
+	for changed := true; changed; {
+		changed = false
+		for _, v := range order {
+			if v == exit {
+				continue
+			}
+			newIdom := -1
+			for _, p := range preds[v] { // predecessors in the reverse graph
+				if rpoN[p] < 0 || ipdom[p] < 0 {
+					continue
+				}
+				if newIdom < 0 {
+					newIdom = p
+				} else {
+					newIdom = intersect(p, newIdom)
+				}
+			}
+			if newIdom >= 0 && ipdom[v] != newIdom {
+				ipdom[v] = newIdom
+				changed = true
+			}
+		}
+	}
+	return &PostDomTree{f: f, ipdom: ipdom, exit: exit, order: order, rpoN: rpoN}
+}
+
+// Ipdom returns the immediate post-dominator of b, or nil when it is the
+// virtual exit.
+func (d *PostDomTree) Ipdom(b *ir.Block) *ir.Block {
+	p := d.ipdom[b.Index]
+	if p < 0 || p == d.exit {
+		return nil
+	}
+	return d.f.Blocks[p]
+}
+
+// PostDominates reports whether a post-dominates b (reflexively).
+func (d *PostDomTree) PostDominates(a, b *ir.Block) bool {
+	ai := a.Index
+	v := b.Index
+	for {
+		if v == ai {
+			return true
+		}
+		next := d.ipdom[v]
+		if next < 0 || next == v || next == d.exit {
+			return v == ai
+		}
+		v = next
+	}
+}
+
+// ControlDependents returns, for each conditional-branch block, the set of
+// blocks control dependent on it: following Ferrante/Ottenstein/Warren, a
+// block n is control dependent on branch b when n post-dominates some
+// successor of b but does not post-dominate b itself.
+func ControlDependents(f *ir.Function, pdom *PostDomTree) map[*ir.Block][]*ir.Block {
+	out := make(map[*ir.Block][]*ir.Block)
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		depSet := make(map[*ir.Block]bool)
+		for _, s := range t.Blocks {
+			// Walk the post-dominator chain from s up to (but excluding)
+			// b's post-dominator set.
+			for n := s; n != nil && !pdom.PostDominates(n, b); n = pdom.Ipdom(n) {
+				depSet[n] = true
+			}
+		}
+		deps := make([]*ir.Block, 0, len(depSet))
+		for _, blk := range f.Blocks { // deterministic order
+			if depSet[blk] {
+				deps = append(deps, blk)
+			}
+		}
+		out[b] = deps
+	}
+	return out
+}

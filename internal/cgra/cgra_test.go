@@ -1,0 +1,241 @@
+package cgra
+
+import (
+	"testing"
+
+	"needle/internal/frame"
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/profile"
+	"needle/internal/region"
+)
+
+func hotPathFrame(t testing.TB, src string, args ...uint64) *frame.Frame {
+	t.Helper()
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := profile.CollectFunction(f, args, make([]uint64, 256), false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+const wideSrc = `func @wide(i64) {
+entry:
+  r2 = const.i64 0
+  br %head
+head:
+  r3 = phi.i64 [entry: r2] [body: r4]
+  r5 = cmp.lt r3, r1
+  condbr r5, %body, %exit
+body:
+  r6 = add r3, r3
+  r7 = mul r3, r3
+  r8 = xor r3, r3
+  r9 = and r3, r3
+  r10 = or r6, r7
+  r11 = add r8, r9
+  r12 = const.i64 1
+  r4 = add r3, r12
+  br %head
+exit:
+  ret r3
+}
+`
+
+func TestScheduleBasics(t *testing.T) {
+	fr := hotPathFrame(t, wideSrc, interp.IBits(10))
+	s := Schedule(fr, DefaultConfig())
+	if s.DataflowCycles <= 0 {
+		t.Fatal("no cycles")
+	}
+	if s.DataflowCycles > int64(len(fr.Ops))*3 {
+		t.Fatalf("schedule %d cycles for %d ops looks unconstrained", s.DataflowCycles, len(fr.Ops))
+	}
+	if s.OpPJ <= 0 {
+		t.Fatal("no per-op energy")
+	}
+	// II is at least the sync floor and never exceeds a cold invocation.
+	if s.II < 1 || s.II > s.InvokeCycles() {
+		t.Fatalf("II = %d out of band (invoke %d)", s.II, s.InvokeCycles())
+	}
+	if s.InvokeCycles() < s.DataflowCycles {
+		t.Fatal("invoke cycles must include dataflow time")
+	}
+	if s.FailCycles() < s.InvokeCycles() {
+		t.Fatal("failures cannot be cheaper than successes")
+	}
+	// The dataflow schedule must beat the critical path only by resource
+	// limits, never the other way: cycles >= weighted critical path length.
+	if s.DataflowCycles < int64(fr.CriticalPath()) {
+		t.Fatalf("schedule %d beat the critical path %d", s.DataflowCycles, fr.CriticalPath())
+	}
+}
+
+func TestScheduleExploitsParallelism(t *testing.T) {
+	fr := hotPathFrame(t, wideSrc, interp.IBits(10))
+	s := Schedule(fr, DefaultConfig())
+	if ilp := s.ILP(); ilp <= 1.0 {
+		t.Fatalf("CGRA ILP = %v, want > 1 on a wide body", ilp)
+	}
+}
+
+func TestResourceConstraintLengthensSchedule(t *testing.T) {
+	fr := hotPathFrame(t, wideSrc, interp.IBits(10))
+	wide := Schedule(fr, DefaultConfig())
+	narrowCfg := DefaultConfig()
+	narrowCfg.Rows, narrowCfg.Cols = 1, 1 // one FU
+	narrow := Schedule(fr, narrowCfg)
+	if narrow.DataflowCycles <= wide.DataflowCycles {
+		t.Fatalf("1 FU (%d cycles) should be slower than 128 FUs (%d)",
+			narrow.DataflowCycles, wide.DataflowCycles)
+	}
+}
+
+const memSrc = `func @m(i64) {
+entry:
+  r2 = const.i64 0
+  br %head
+head:
+  r3 = phi.i64 [entry: r2] [body: r4]
+  r5 = cmp.lt r3, r1
+  condbr r5, %body, %exit
+body:
+  r6 = load.i64 r3
+  r7 = add r6, r3
+  store.i64 r3, r7
+  r8 = const.i64 1
+  r4 = add r3, r8
+  br %head
+exit:
+  ret
+}
+`
+
+func TestMemoryOpsPayUncoreLatency(t *testing.T) {
+	fr := hotPathFrame(t, memSrc, interp.IBits(10))
+	s := Schedule(fr, DefaultConfig())
+	// load -> add -> store chain: at least two memory latencies plus the add.
+	cfg := DefaultConfig()
+	if want := 2*cfg.MemLatency + 1; s.DataflowCycles < want {
+		t.Fatalf("cycles = %d, want >= %d for the memory chain", s.DataflowCycles, want)
+	}
+	if s.UndoCycles <= 0 {
+		t.Fatal("store-bearing frame must pay undo bookkeeping")
+	}
+	if s.RollbackCycles <= 0 || s.FailEnergyPJ() <= s.InvokeEnergyPJ(int64(len(fr.Ops)))-1e-9 {
+		t.Fatal("failure costs must exceed success costs for stores")
+	}
+}
+
+func TestMemPortLimit(t *testing.T) {
+	fr := hotPathFrame(t, memSrc, interp.IBits(10))
+	cfg := DefaultConfig()
+	cfg.MemPorts = 1
+	one := Schedule(fr, cfg)
+	four := Schedule(fr, DefaultConfig())
+	if one.DataflowCycles < four.DataflowCycles {
+		t.Fatal("fewer ports cannot be faster")
+	}
+}
+
+func TestTransferCosts(t *testing.T) {
+	fr := hotPathFrame(t, wideSrc, interp.IBits(10))
+	cfg := DefaultConfig()
+	s := Schedule(fr, cfg)
+	wantIn := int64((len(fr.LiveIn) + cfg.TransferRate - 1) / cfg.TransferRate)
+	if s.TransferIn != wantIn {
+		t.Fatalf("transfer-in = %d, want %d", s.TransferIn, wantIn)
+	}
+	cfg.TransferRate = 100
+	fast := Schedule(fr, cfg)
+	if fast.TransferIn > s.TransferIn {
+		t.Fatal("higher transfer rate cannot be slower")
+	}
+}
+
+func TestFULatencyTable(t *testing.T) {
+	if FULatency(ir.OpAdd) != 1 || FULatency(ir.OpFMul) != 5 {
+		t.Fatal("FULatency table broken")
+	}
+}
+
+func TestEnergyScalesWithOps(t *testing.T) {
+	small := hotPathFrame(t, memSrc, interp.IBits(10))
+	big := hotPathFrame(t, wideSrc, interp.IBits(10))
+	// wide frame has more ops than mem frame minus memory energy skew; just
+	// check both positive and that per-op energy is in a sane pJ band.
+	for _, fr := range []*frame.Frame{small, big} {
+		s := Schedule(fr, DefaultConfig())
+		if s.OpPJ < 5 || s.OpPJ > 200 {
+			t.Fatalf("per-op energy %v pJ out of band", s.OpPJ)
+		}
+		// Gating an op must be cheaper than executing it.
+		if s.GatePJ >= s.OpPJ {
+			t.Fatal("gated ops should cost less than executed ops")
+		}
+		// Executing fewer ops costs less energy.
+		if s.InvokeEnergyPJ(1) >= s.InvokeEnergyPJ(int64(len(fr.Ops))) {
+			t.Fatal("InvokeEnergyPJ not monotonic in executed ops")
+		}
+	}
+}
+
+func TestRecurrenceIIDistinguishesCarriedChains(t *testing.T) {
+	// A loop with an FP accumulator (4-cycle recurrence) and a long
+	// induction-driven address chain (pipelinable): the recurrence II must
+	// reflect the accumulator, not the address chain.
+	src := `func @acc(i64, i64) {
+entry:
+  r3 = const.f64 0
+  r4 = const.i64 0
+  br %head
+head:
+  r5 = phi.f64 [entry: r3] [body: r6]
+  r7 = phi.i64 [entry: r4] [body: r8]
+  r9 = cmp.lt r7, r2
+  condbr r9, %body, %exit
+body:
+  r10 = mul r7, r7
+  r11 = add r10, r1
+  r12 = and r11, r2
+  r13 = load.f64 r12
+  r14 = fmul r13, r13
+  r6 = fadd r5, r14
+  r15 = const.i64 1
+  r8 = add r7, r15
+  br %head
+exit:
+  ret r5
+}
+`
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]uint64, 64)
+	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := Schedule(fr, DefaultConfig())
+	// Accumulator cycle: fadd only = 4 cycles. The induction-chained
+	// mul/add/and/load path (3+1+1+16 = 21+) must NOT bound the recurrence.
+	if s.RecurrenceII > 8 {
+		t.Fatalf("recurrence II = %d; the induction-fed load chain leaked into the cycle bound", s.RecurrenceII)
+	}
+	if s.RecurrenceII < 4 {
+		t.Fatalf("recurrence II = %d; the FP accumulator cycle (4) is a hard bound", s.RecurrenceII)
+	}
+}

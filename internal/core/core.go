@@ -1,0 +1,172 @@
+// Package core ties the Needle pipeline together: profile a workload's hot
+// function, enumerate and rank its Ball-Larus paths, characterize its
+// control flow, form braids and baseline regions, construct software
+// frames, and evaluate offload on the modeled system. It is the programmatic
+// equivalent of the paper's Figure 1 flow and the entry point used by the
+// command-line tools, the examples, and the experiment harness.
+package core
+
+import (
+	"fmt"
+
+	"needle/internal/frame"
+	"needle/internal/hls"
+	"needle/internal/passes"
+	"needle/internal/profile"
+	"needle/internal/region"
+	"needle/internal/sim"
+	"needle/internal/workloads"
+)
+
+// Config controls an analysis run.
+type Config struct {
+	// Sim holds the hardware model parameters (Table V defaults).
+	Sim sim.Config
+	// N overrides the workload problem size; 0 keeps the default.
+	N int
+	// TopPaths bounds how many ranked paths detailed reports include.
+	TopPaths int
+	// ColdFraction is the hyperblock cold-op threshold (Figure 5).
+	ColdFraction float64
+	// SelectTopK bounds the filter-and-rank candidate search.
+	SelectTopK int
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Sim:          sim.DefaultConfig(),
+		TopPaths:     5,
+		ColdFraction: 0.1,
+		SelectTopK:   3,
+	}
+}
+
+// Analysis is the complete result of running the pipeline on one workload.
+type Analysis struct {
+	Workload *workloads.Workload
+	Config   Config
+
+	// Trace is the captured baseline execution (profile + host costs).
+	Trace *sim.Trace
+	// Profile is the ranked Ball-Larus path profile.
+	Profile *profile.FunctionProfile
+	// CFStats is the static control-flow characterization (Table I).
+	CFStats region.ControlFlowStats
+	// Braids holds every braid, ranked by weight (Table IV).
+	Braids []*region.Braid
+
+	// PathOracle and PathHistory evaluate the best BL-Path offload under
+	// the oracle bound and the invocation history table (Figure 9).
+	PathOracle  sim.Result
+	PathHistory sim.Result
+	// BraidChoice is the filter-and-rank braid selection (Figures 9, 10).
+	BraidChoice sim.Candidate
+	// HyperblockResult is the non-speculative predicated baseline of
+	// Figure 2's design-space comparison.
+	HyperblockResult sim.Result
+
+	// HotBraidFrame is the software frame of the top braid, and HLS its
+	// estimated FPGA synthesis (Section VI).
+	HotBraidFrame *frame.Frame
+	HLS           hls.Report
+}
+
+// Analyze runs the full pipeline on a workload. Kernels with calls are
+// aggressively inlined first, exactly as the paper's LLVM front half does
+// before profiling (Section II-A).
+func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
+	if cfg.TopPaths == 0 {
+		cfg = DefaultConfig()
+	}
+	f, args, memory := w.Instance(cfg.N)
+	f, err := passes.InlineAll(f, 0)
+	if err != nil {
+		return nil, fmt.Errorf("core: inlining %s: %w", w.Name, err)
+	}
+	tr, err := sim.Capture(f, args, memory, cfg.Sim)
+	if err != nil {
+		return nil, fmt.Errorf("core: capturing %s: %w", w.Name, err)
+	}
+	a := &Analysis{
+		Workload: w,
+		Config:   cfg,
+		Trace:    tr,
+		Profile:  tr.Profile,
+		CFStats:  region.Characterize(f),
+		Braids:   region.BuildBraids(tr.Profile, 0),
+	}
+
+	a.PathHistory, a.PathOracle, err = sim.SelectPath(tr, cfg.Sim, cfg.SelectTopK)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluating paths of %s: %w", w.Name, err)
+	}
+	a.BraidChoice, err = sim.SelectBraid(tr, cfg.Sim, cfg.SelectTopK)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluating braids of %s: %w", w.Name, err)
+	}
+	a.HyperblockResult, err = sim.EvaluateHyperblock(tr, cfg.Sim, cfg.ColdFraction)
+	if err != nil {
+		return nil, fmt.Errorf("core: evaluating hyperblock of %s: %w", w.Name, err)
+	}
+
+	if len(a.Braids) > 0 {
+		fr, err := frame.Build(&a.Braids[0].Region, cfg.Sim.Frame)
+		if err == nil {
+			a.HotBraidFrame = fr
+			a.HLS = hls.Synthesize(fr, hls.CycloneV())
+		}
+	}
+	return a, nil
+}
+
+// AnalyzeAll runs the pipeline over every registered workload.
+func AnalyzeAll(cfg Config) ([]*Analysis, error) {
+	var out []*Analysis
+	for _, w := range workloads.All() {
+		a, err := Analyze(w, cfg)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, a)
+	}
+	return out, nil
+}
+
+// HottestBraid returns the top-ranked braid, or nil.
+func (a *Analysis) HottestBraid() *region.Braid {
+	if len(a.Braids) == 0 {
+		return nil
+	}
+	return a.Braids[0]
+}
+
+// PathFrame builds the software frame for one of the profile's paths.
+func (a *Analysis) PathFrame(rank int) (*frame.Frame, error) {
+	paths := a.Profile.Paths
+	if rank < 0 || rank >= len(paths) {
+		return nil, fmt.Errorf("core: %s has no path of rank %d", a.Workload.Name, rank)
+	}
+	r := region.FromPath(a.Profile.F, paths[rank])
+	return frame.Build(r, a.Config.Sim.Frame)
+}
+
+// Superblock builds the edge-profile baseline region seeded at the hottest
+// path's entry (Section II-B comparison).
+func (a *Analysis) Superblock() *region.Superblock {
+	hot := a.Profile.HottestPath()
+	if hot == nil {
+		return nil
+	}
+	return region.BuildSuperblock(a.Profile, hot.Blocks[0], 0)
+}
+
+// Hyperblock builds the if-conversion baseline region at the hottest path's
+// entry (Figure 5).
+func (a *Analysis) Hyperblock() *region.Hyperblock {
+	hot := a.Profile.HottestPath()
+	if hot == nil {
+		return nil
+	}
+	return region.BuildHyperblock(a.Profile, hot.Blocks[0], a.Config.ColdFraction)
+}

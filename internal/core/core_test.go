@@ -1,0 +1,129 @@
+package core
+
+import (
+	"encoding/json"
+	"testing"
+
+	"needle/internal/workloads"
+)
+
+func analyze(t testing.TB, name string, n int) *Analysis {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("unknown workload %q", name)
+	}
+	cfg := DefaultConfig()
+	cfg.N = n
+	a, err := Analyze(w, cfg)
+	if err != nil {
+		t.Fatalf("Analyze(%s): %v", name, err)
+	}
+	return a
+}
+
+func TestAnalyzeProducesEverything(t *testing.T) {
+	a := analyze(t, "456.hmmer", 1500)
+	if a.Profile == nil || a.Trace == nil {
+		t.Fatal("missing profile/trace")
+	}
+	if a.Profile.NumExecutedPaths() == 0 {
+		t.Fatal("no paths executed")
+	}
+	if len(a.Braids) == 0 {
+		t.Fatal("no braids formed")
+	}
+	if a.CFStats.Branches == 0 {
+		t.Fatal("characterization empty")
+	}
+	if a.HotBraidFrame == nil {
+		t.Fatal("no hot braid frame")
+	}
+	if a.HLS.ALMs <= 0 {
+		t.Fatal("no HLS estimate")
+	}
+	if a.PathOracle.BaselineCycles != a.Trace.BaselineCycles {
+		t.Fatal("oracle result disconnected from trace")
+	}
+}
+
+func TestAnalyzeSupportingRegions(t *testing.T) {
+	a := analyze(t, "164.gzip", 1500)
+	sb := a.Superblock()
+	if sb == nil || len(sb.Blocks) == 0 {
+		t.Fatal("no superblock")
+	}
+	hb := a.Hyperblock()
+	if hb == nil || hb.NumOps() == 0 {
+		t.Fatal("no hyperblock")
+	}
+	// The hyperblock never shrinks below its seed block.
+	if hb.SizeVsBlock() < 1 {
+		t.Fatalf("hyperblock smaller than its entry block: %v", hb.SizeVsBlock())
+	}
+}
+
+func TestPathFrameRanks(t *testing.T) {
+	a := analyze(t, "453.povray", 1500)
+	fr0, err := a.PathFrame(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr0.NumOps() == 0 {
+		t.Fatal("empty frame")
+	}
+	if _, err := a.PathFrame(1); err != nil {
+		t.Fatalf("rank-1 frame: %v", err)
+	}
+	if _, err := a.PathFrame(1 << 20); err == nil {
+		t.Fatal("expected error for absurd rank")
+	}
+	if _, err := a.PathFrame(-1); err == nil {
+		t.Fatal("expected error for negative rank")
+	}
+}
+
+func TestSelectionNeverDegrades(t *testing.T) {
+	// The filter-and-rank stage must fall back to no-offload rather than
+	// commit to a losing braid.
+	for _, name := range []string{"186.crafty", "401.bzip2", "179.art"} {
+		a := analyze(t, name, 1500)
+		if a.BraidChoice.Result.Improvement < -0.01 {
+			t.Errorf("%s: selected braid degrades by %.1f%% (policy %s)",
+				name, -a.BraidChoice.Result.Improvement*100, a.BraidChoice.Policy)
+		}
+	}
+}
+
+func TestDefaultConfigFillsZeroValue(t *testing.T) {
+	w := workloads.ByName("482.sphinx3")
+	a, err := Analyze(w, Config{N: 800})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config.TopPaths == 0 {
+		t.Fatal("zero-value config should be replaced by defaults")
+	}
+}
+
+func TestSummaryJSONRoundTrip(t *testing.T) {
+	a := analyze(t, "164.gzip", 1200)
+	data, err := MarshalSummaries([]*Analysis{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back []Summary
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if len(back) != 1 || back[0].Workload != "164.gzip" {
+		t.Fatalf("round trip lost data: %+v", back)
+	}
+	s := back[0]
+	if s.ExecutedPaths == 0 || s.BaselineCycles == 0 || s.Braids == 0 {
+		t.Fatalf("summary incomplete: %+v", s)
+	}
+	if s.Braid.Coverage < 0 || s.Braid.Coverage > 1 {
+		t.Fatalf("braid coverage out of range: %v", s.Braid.Coverage)
+	}
+}

@@ -1,0 +1,118 @@
+package core
+
+import (
+	"encoding/json"
+
+	"needle/internal/sim"
+)
+
+// Summary is the machine-readable digest of one workload's analysis, used
+// by `needle -json` so external tooling (plotting scripts, regression
+// dashboards) can consume the reproduction's numbers without scraping the
+// table renderings.
+type Summary struct {
+	Workload string `json:"workload"`
+	Suite    string `json:"suite"`
+	N        int    `json:"n"`
+
+	ExecutedPaths int     `json:"executedPaths"`
+	Top1Coverage  float64 `json:"top1Coverage"`
+	Top5Coverage  float64 `json:"top5Coverage"`
+	HotPathOps    int64   `json:"hotPathOps"`
+	HotPathBr     int     `json:"hotPathBranches"`
+	HotPathMemOps int     `json:"hotPathMemOps"`
+
+	Branches        int     `json:"branches"`
+	BackEdges       int     `json:"backEdges"`
+	PredicationBits int     `json:"predicationBits"`
+	AvgBranchMem    float64 `json:"avgBranchMem"`
+	AvgMemBranch    float64 `json:"avgMemBranch"`
+
+	Braids        int     `json:"braids"`
+	BraidMerged   int     `json:"braidMergedPaths"`
+	BraidCoverage float64 `json:"braidCoverage"`
+	BraidGuards   int     `json:"braidGuards"`
+	BraidIFs      int     `json:"braidIFs"`
+
+	BaselineCycles int64 `json:"baselineCycles"`
+
+	PathOracle  OffloadSummary `json:"pathOracle"`
+	PathHistory OffloadSummary `json:"pathHistory"`
+	Braid       OffloadSummary `json:"braid"`
+	Hyperblock  OffloadSummary `json:"hyperblock"`
+
+	HLSALMs        int     `json:"hlsALMs"`
+	HLSUtilization float64 `json:"hlsUtilization"`
+	HLSPowerMW     float64 `json:"hlsPowerMW"`
+}
+
+// OffloadSummary condenses one sim.Result.
+type OffloadSummary struct {
+	Improvement     float64 `json:"improvement"`
+	EnergyReduction float64 `json:"energyReduction"`
+	Precision       float64 `json:"precision"`
+	Coverage        float64 `json:"coverage"`
+	Policy          string  `json:"policy,omitempty"`
+}
+
+func offloadSummary(r sim.Result, policy string) OffloadSummary {
+	return OffloadSummary{
+		Improvement:     r.Improvement,
+		EnergyReduction: r.EnergyReduction,
+		Precision:       r.Precision,
+		Coverage:        r.Coverage,
+		Policy:          policy,
+	}
+}
+
+// Summarize flattens an Analysis into its Summary.
+func Summarize(a *Analysis) Summary {
+	s := Summary{
+		Workload: a.Workload.Name,
+		Suite:    a.Workload.Suite,
+		N:        a.Config.N,
+
+		ExecutedPaths: a.Profile.NumExecutedPaths(),
+		Top1Coverage:  a.Profile.CoverageTopK(1),
+		Top5Coverage:  a.Profile.CoverageTopK(5),
+
+		Branches:        a.CFStats.Branches,
+		BackEdges:       a.CFStats.BackwardBranches,
+		PredicationBits: a.CFStats.PredicationBits,
+		AvgBranchMem:    a.CFStats.AvgBranchMem,
+		AvgMemBranch:    a.CFStats.AvgMemBranch,
+
+		Braids:         len(a.Braids),
+		BaselineCycles: a.Trace.BaselineCycles,
+
+		PathOracle:  offloadSummary(a.PathOracle, "oracle"),
+		PathHistory: offloadSummary(a.PathHistory, "history"),
+		Braid:       offloadSummary(a.BraidChoice.Result, a.BraidChoice.Policy),
+		Hyperblock:  offloadSummary(a.HyperblockResult, "always"),
+
+		HLSALMs:        a.HLS.ALMs,
+		HLSUtilization: a.HLS.Utilization,
+		HLSPowerMW:     a.HLS.PowerMW,
+	}
+	if hot := a.Profile.HottestPath(); hot != nil {
+		s.HotPathOps = hot.Ops
+		s.HotPathBr = hot.Branches
+		s.HotPathMemOps = hot.MemOps
+	}
+	if br := a.HottestBraid(); br != nil {
+		s.BraidMerged = br.MergedPathCount()
+		s.BraidCoverage = br.Coverage(a.Profile)
+		s.BraidGuards = br.Guards
+		s.BraidIFs = br.IFs
+	}
+	return s
+}
+
+// MarshalSummaries renders summaries as indented JSON.
+func MarshalSummaries(as []*Analysis) ([]byte, error) {
+	out := make([]Summary, len(as))
+	for i, a := range as {
+		out[i] = Summarize(a)
+	}
+	return json.MarshalIndent(out, "", "  ")
+}

@@ -1,0 +1,66 @@
+package energy
+
+import (
+	"testing"
+
+	"needle/internal/mem"
+	"needle/internal/ooo"
+)
+
+func TestHostEnergyComposition(t *testing.T) {
+	c := DefaultCPU()
+	mix := ooo.OpMix{Int: 60, FP: 20, Mem: 20, Total: 100}
+	stats := mem.Stats{Accesses: 20, L1Hits: 18, L1Misses: 2}
+	got := HostEnergyPJ(c, mix, stats)
+	want := 100*c.FrontEndPJ + 60*c.IntPJ + 20*c.FPPJ + 20*c.LSQPJ + 20*c.L1PJ + 2*c.L2PJ
+	if got != want {
+		t.Fatalf("HostEnergyPJ = %v, want %v", got, want)
+	}
+}
+
+func TestFrontEndDominates(t *testing.T) {
+	// The paper's premise: the front-end tax is the largest per-instruction
+	// charge on the host, which is what the accelerator elides.
+	c := DefaultCPU()
+	if c.FrontEndPJ <= c.IntPJ || c.FrontEndPJ <= c.FPPJ {
+		t.Fatalf("front-end (%v pJ) should dominate execute energy", c.FrontEndPJ)
+	}
+}
+
+func TestPerOpPJ(t *testing.T) {
+	c := DefaultCPU()
+	mix := ooo.OpMix{Int: 100, Total: 100}
+	got := PerOpPJ(c, mix, mem.Stats{})
+	if got != c.FrontEndPJ+c.IntPJ {
+		t.Fatalf("PerOpPJ = %v", got)
+	}
+	if PerOpPJ(c, ooo.OpMix{}, mem.Stats{}) != 0 {
+		t.Fatal("empty mix should cost nothing per op")
+	}
+}
+
+func TestMemoryOpsCostMore(t *testing.T) {
+	c := DefaultCPU()
+	intMix := ooo.OpMix{Int: 100, Total: 100}
+	memMix := ooo.OpMix{Mem: 100, Total: 100}
+	memStats := mem.Stats{Accesses: 100, L1Hits: 100}
+	if HostEnergyPJ(c, memMix, memStats) <= HostEnergyPJ(c, intMix, mem.Stats{}) {
+		t.Fatal("memory ops should cost more than ALU ops")
+	}
+}
+
+func TestReduction(t *testing.T) {
+	cases := []struct {
+		base, with, want float64
+	}{
+		{100, 80, 0.2},
+		{100, 100, 0},
+		{100, 120, -0.2},
+		{0, 50, 0},
+	}
+	for _, c := range cases {
+		if got := Reduction(c.base, c.with); got != c.want {
+			t.Errorf("Reduction(%v,%v) = %v, want %v", c.base, c.with, got, c.want)
+		}
+	}
+}

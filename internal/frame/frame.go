@@ -1,0 +1,548 @@
+// Package frame implements Needle's software frames (Section V): the
+// accelerator-microarchitecture-independent offload unit generated from a
+// BL-Path or Braid. A frame is an atomic block of dataflow operations with
+// branches converted to asynchronous guards, phis cancelled (paths) or
+// turned into selects (braids), stores instrumented for a software undo
+// log, and live-in/live-out marshalling at the boundary.
+package frame
+
+import (
+	"fmt"
+	"strings"
+
+	"needle/internal/analysis"
+	"needle/internal/ir"
+	"needle/internal/region"
+)
+
+// GuardPlacement selects where guard checks constrain the dataflow graph.
+// This is the "regulate when the guard checks are inserted" knob of the
+// paper's Section I, exercised by the ablation benchmarks.
+type GuardPlacement uint8
+
+const (
+	// GuardsAsync detaches guards from the dataflow: every hoisted operation
+	// may execute before any guard resolves, failures are detected at the
+	// end of the invocation. Maximum ILP, maximum wasted work on failure.
+	// This is the paper's default evaluation model.
+	GuardsAsync GuardPlacement = iota
+	// GuardsSerialize makes each operation depend on the most recent guard
+	// in region order: less hoisting, earlier failure detection.
+	GuardsSerialize
+)
+
+// MemOrdering selects how memory operations are ordered inside a frame.
+type MemOrdering uint8
+
+const (
+	// MemSpeculative imposes no ordering edges between frame memory
+	// operations: the undo log makes the frame atomic, and the paper's
+	// frames "permit all operations to be speculative, including memory
+	// operations" (Section V). This is the default and exposes the
+	// memory-level parallelism the accelerator needs.
+	MemSpeculative MemOrdering = iota
+	// MemConservative serializes stores and orders loads around stores in
+	// program order, modeling an accelerator without memory speculation.
+	// Kept for the ablation benchmarks.
+	MemConservative
+)
+
+// Options controls frame construction.
+type Options struct {
+	Placement GuardPlacement
+	Ordering  MemOrdering
+	// UndoOpsPerStore is the number of bookkeeping operations the software
+	// undo log adds per instrumented store (read old value + append to log).
+	// Zero selects the default of 2.
+	UndoOpsPerStore int
+}
+
+// Op is one node of the frame's dataflow graph.
+type Op struct {
+	Instr *ir.Instr
+	Block *ir.Block
+	// Deps are indices (into Frame.Ops) of operations this one must follow:
+	// register producers, memory ordering, and — under GuardsSerialize —
+	// the preceding guard.
+	Deps []int
+	// Guard marks converted branches.
+	Guard bool
+	// Select marks phis converted to selection operations (braid merges).
+	Select bool
+}
+
+// Frame is a constructed software frame.
+type Frame struct {
+	Region *region.Region
+	Ops    []Op
+
+	// LiveIn lists registers the frame consumes from the host: ordinary
+	// live-ins plus the destinations of entry-block phis (whose incoming
+	// values the host marshals at invocation).
+	LiveIn []ir.Reg
+	// LiveOut lists registers the host reads back after a successful
+	// invocation.
+	LiveOut []ir.Reg
+
+	Guards     int // branches converted to guards
+	Selects    int // phis converted to selects
+	Cancelled  int // phis cancelled by single-flow extraction
+	Stores     int // stores instrumented with undo logging
+	UndoOps    int // total bookkeeping ops added for the undo log
+	Predicates int // branches converted to predicate computations (hyperblocks)
+
+	// HoistedMemOps counts memory operations that became control
+	// independent inside the frame (C7 of Table II: all of them for a
+	// path; common-block ones for a braid).
+	HoistedMemOps int
+
+	// Carried records the loop-carried value pairs of the region: for each
+	// entry-block phi (a frame input), the in-region register that produces
+	// its value for the next consecutive invocation. The accelerator's
+	// initiation interval is bounded by the latency of these recurrences.
+	Carried []CarriedPair
+
+	// Def maps every register defined inside the frame to the index of the
+	// producing op in Ops. Cancelled phis alias their forwarded producer.
+	Def map[ir.Reg]int
+
+	// Unroll is the target-expansion factor (Section IV-A); 0 or 1 means a
+	// single path instance per invocation.
+	Unroll int
+
+	opts Options
+}
+
+// CarriedPair links an entry phi (frame input) to the in-region register
+// feeding it on the next iteration.
+type CarriedPair struct {
+	Phi  ir.Reg
+	Next ir.Reg
+}
+
+// Build constructs the offload unit for a region. Path and braid regions
+// become speculative software frames. Hyperblock regions become the
+// non-speculative predicated configuration of Figure 2's middle column:
+// branches turn into predicate computations every subsequent operation
+// depends on, memory stays conservatively ordered, and there is no undo
+// log — the design Needle's software speculation is compared against.
+// Superblocks have multiple exits with a single flow of control and cannot
+// be framed.
+func Build(r *region.Region, opts Options) (*Frame, error) {
+	predicated := r.Kind == region.KindHyperblock
+	if r.Kind != region.KindPath && r.Kind != region.KindBraid && !predicated {
+		return nil, fmt.Errorf("frame: cannot frame a %s region", r.Kind)
+	}
+	if predicated {
+		// Non-speculative execution: per-op predication, conservative
+		// memory ordering, no undo bookkeeping.
+		opts.Ordering = MemConservative
+		opts.UndoOpsPerStore = -1
+	}
+	for _, blk := range r.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpCall {
+				return nil, fmt.Errorf("frame: region in %s contains a call; inline with passes.InlineAll first", r.F.Name)
+			}
+		}
+	}
+	if opts.UndoOpsPerStore == 0 {
+		opts.UndoOpsPerStore = 2
+	}
+	if opts.UndoOpsPerStore < 0 {
+		opts.UndoOpsPerStore = 0
+	}
+	fr := &Frame{Region: r, opts: opts}
+
+	liveIn, liveOut := r.LiveValues()
+	// Entry phis become frame arguments: their destinations join the
+	// live-in set and their incoming operands (already counted live-in by
+	// the region analysis) are what the host marshals.
+	entryPhiDst := make(map[ir.Reg]bool)
+	for _, phi := range r.Entry.Phis() {
+		entryPhiDst[phi.Dst] = true
+	}
+	seen := make(map[ir.Reg]bool)
+	for _, reg := range liveIn {
+		if !seen[reg] {
+			seen[reg] = true
+			fr.LiveIn = append(fr.LiveIn, reg)
+		}
+	}
+	for _, phi := range r.Entry.Phis() {
+		if !seen[phi.Dst] {
+			seen[phi.Dst] = true
+			fr.LiveIn = append(fr.LiveIn, phi.Dst)
+		}
+	}
+	fr.LiveOut = liveOut
+
+	// Linearize the region into dataflow ops.
+	defIdx := make(map[ir.Reg]int) // register -> producing op index
+	lastStore := -1
+	var loadsSinceStore []int
+	lastGuard := -1
+
+	// Static memory disambiguation for the conservative ordering: two
+	// accesses provably touch different words when their addresses are the
+	// same base register plus different constant offsets (or two different
+	// constants). Symbolic addresses are recovered by walking Add/Const
+	// chains in the region.
+	addrOf := buildAddrMap(r)
+	mayAlias := func(a, b ir.Reg) bool {
+		ka, oka := addrOf[a]
+		kb, okb := addrOf[b]
+		if !oka || !okb {
+			return true
+		}
+		if ka.base != kb.base {
+			return true // different bases: unknown relation
+		}
+		return ka.off == kb.off
+	}
+
+	// For predicated frames, each op depends on the predicates of the
+	// branches its block is control dependent on — not on every preceding
+	// branch (dataflow predication resolves in parallel).
+	var ctrlOf map[*ir.Block][]*ir.Block // block -> controlling branch blocks
+	branchOpIdx := make(map[*ir.Block]int)
+	if predicated {
+		pdom := analysis.PostDominators(r.F)
+		ctrlOf = make(map[*ir.Block][]*ir.Block)
+		for br, deps := range analysis.ControlDependents(r.F, pdom) {
+			for _, dep := range deps {
+				ctrlOf[dep] = append(ctrlOf[dep], br)
+			}
+		}
+	}
+
+	addDep := func(deps []int, idx int) []int {
+		for _, d := range deps {
+			if d == idx {
+				return deps
+			}
+		}
+		return append(deps, idx)
+	}
+
+	emit := func(op Op, in *ir.Instr) int {
+		// Register dependences.
+		in.Uses(func(reg ir.Reg) {
+			if idx, ok := defIdx[reg]; ok {
+				op.Deps = addDep(op.Deps, idx)
+			}
+		})
+		if predicated {
+			for _, br := range ctrlOf[op.Block] {
+				if idx, ok := branchOpIdx[br]; ok {
+					op.Deps = addDep(op.Deps, idx)
+				}
+			}
+		} else if opts.Placement == GuardsSerialize && lastGuard >= 0 && !op.Guard {
+			op.Deps = addDep(op.Deps, lastGuard)
+		}
+		fr.Ops = append(fr.Ops, op)
+		idx := len(fr.Ops) - 1
+		if in.Op.HasDest() {
+			defIdx[in.Dst] = idx
+		}
+		return idx
+	}
+
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			switch in.Op {
+			case ir.OpPhi:
+				if b == r.Entry {
+					continue // frame argument
+				}
+				if r.Kind == region.KindHyperblock {
+					// Predicated merges need a selection operation.
+					fr.Selects++
+					emit(Op{Instr: in, Block: b, Select: true}, in)
+					continue
+				}
+				if r.Kind == region.KindPath {
+					// Single flow of control: the phi resolves statically to
+					// the value arriving along the path; it costs nothing.
+					fr.Cancelled++
+					// Forward the producing op so consumers depend on it.
+					if prev := pathPhiIncoming(r, b, in); prev != ir.NoReg {
+						if idx, ok := defIdx[prev]; ok {
+							defIdx[in.Dst] = idx
+						}
+					}
+					continue
+				}
+				// Braid: the merge needs a hardware selection operation.
+				fr.Selects++
+				emit(Op{Instr: in, Block: b, Select: true}, in)
+			case ir.OpCondBr:
+				if predicated {
+					fr.Predicates++
+				} else {
+					fr.Guards++
+				}
+				idx := emit(Op{Instr: in, Block: b, Guard: !predicated}, in)
+				lastGuard = idx
+				if predicated {
+					branchOpIdx[b] = idx
+				}
+			case ir.OpBr, ir.OpRet:
+				// Control transfers disappear inside the frame.
+			case ir.OpStore:
+				fr.Stores++
+				fr.UndoOps += opts.UndoOpsPerStore
+				op := Op{Instr: in, Block: b}
+				if opts.Ordering == MemConservative {
+					if lastStore >= 0 && mayAlias(in.Args[0], fr.Ops[lastStore].Instr.Args[0]) {
+						op.Deps = addDep(op.Deps, lastStore)
+					}
+					for _, l := range loadsSinceStore {
+						if mayAlias(in.Args[0], fr.Ops[l].Instr.Args[0]) {
+							op.Deps = addDep(op.Deps, l)
+						}
+					}
+				}
+				idx := emit(op, in)
+				lastStore = idx
+				loadsSinceStore = loadsSinceStore[:0]
+			case ir.OpLoad:
+				op := Op{Instr: in, Block: b}
+				if opts.Ordering == MemConservative && lastStore >= 0 &&
+					mayAlias(in.Args[0], fr.Ops[lastStore].Instr.Args[0]) {
+					op.Deps = addDep(op.Deps, lastStore)
+				}
+				idx := emit(op, in)
+				loadsSinceStore = append(loadsSinceStore, idx)
+			default:
+				emit(Op{Instr: in, Block: b}, in)
+			}
+		}
+	}
+
+	fr.Def = defIdx
+
+	// Loop-carried recurrences: entry phis whose incoming value is defined
+	// inside the region (arriving over a back edge from a region block).
+	defsIn := make(map[ir.Reg]bool)
+	for _, blk := range r.Blocks {
+		for _, in := range blk.Instrs {
+			if in.Op.HasDest() {
+				defsIn[in.Dst] = true
+			}
+		}
+	}
+	for _, phi := range r.Entry.Phis() {
+		for _, a := range phi.Args {
+			if defsIn[a] {
+				fr.Carried = append(fr.Carried, CarriedPair{Phi: phi.Dst, Next: a})
+			}
+		}
+	}
+
+	// Memory speculation accounting: inside an atomic frame every memory op
+	// in a block common to all constituent paths is hoisted above the
+	// guards and becomes control independent. Predicated hyperblocks hoist
+	// nothing.
+	if predicated {
+		fr.HoistedMemOps = 0
+	} else if r.Kind == region.KindPath {
+		fr.HoistedMemOps = r.NumMemOps()
+	} else {
+		fr.HoistedMemOps = r.NumMemOps() - braidDependentMemOps(r)
+	}
+	return fr, nil
+}
+
+// symAddr is a symbolic word address: base register (NoReg for absolute
+// constants) plus a constant offset.
+type symAddr struct {
+	base ir.Reg
+	off  int64
+}
+
+// buildAddrMap recovers symbolic addresses for registers defined in the
+// region by folding Add-with-constant and Const chains. Registers whose
+// value cannot be expressed as base+constant are simply absent.
+func buildAddrMap(r *region.Region) map[ir.Reg]symAddr {
+	defs := make(map[ir.Reg]*ir.Instr)
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDest() {
+				defs[in.Dst] = in
+			}
+		}
+	}
+	out := make(map[ir.Reg]symAddr)
+	var walk func(reg ir.Reg, depth int) (symAddr, bool)
+	walk = func(reg ir.Reg, depth int) (symAddr, bool) {
+		if a, ok := out[reg]; ok {
+			return a, true
+		}
+		if depth > 16 {
+			return symAddr{}, false
+		}
+		in, ok := defs[reg]
+		if !ok {
+			// Defined outside the region: itself a base.
+			a := symAddr{base: reg}
+			out[reg] = a
+			return a, true
+		}
+		switch in.Op {
+		case ir.OpConst:
+			a := symAddr{base: ir.NoReg, off: in.Imm}
+			out[reg] = a
+			return a, true
+		case ir.OpAdd:
+			// base + const (either order).
+			for i := 0; i < 2; i++ {
+				if c, ok := walk(in.Args[i], depth+1); ok && c.base == ir.NoReg {
+					if b, ok := walk(in.Args[1-i], depth+1); ok {
+						a := symAddr{base: b.base, off: b.off + c.off}
+						out[reg] = a
+						return a, true
+					}
+				}
+			}
+		case ir.OpCopy:
+			if a, ok := walk(in.Args[0], depth+1); ok {
+				out[reg] = a
+				return a, true
+			}
+		}
+		// Opaque computation: treat the register itself as a fresh base.
+		a := symAddr{base: reg}
+		out[reg] = a
+		return a, true
+	}
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsMemory() {
+				walk(in.Args[0], 0)
+			}
+		}
+	}
+	return out
+}
+
+// pathPhiIncoming returns the incoming value of a phi along a single path
+// region: the value flowing from the path predecessor of the phi's block.
+func pathPhiIncoming(r *region.Region, b *ir.Block, phi *ir.Instr) ir.Reg {
+	var prev *ir.Block
+	for i, blk := range r.Blocks {
+		if blk == b && i > 0 {
+			prev = r.Blocks[i-1]
+			break
+		}
+	}
+	if prev == nil {
+		return ir.NoReg
+	}
+	for i, from := range phi.Blocks {
+		if from == prev {
+			return phi.Args[i]
+		}
+	}
+	return ir.NoReg
+}
+
+// braidDependentMemOps counts memory ops in blocks not shared by all merged
+// paths (these stay control dependent on the braid's internal IFs).
+func braidDependentMemOps(r *region.Region) int {
+	if len(r.Paths) == 0 {
+		return 0
+	}
+	onAll := make(map[*ir.Block]int)
+	for _, p := range r.Paths {
+		seen := make(map[*ir.Block]bool)
+		for _, b := range p.Blocks {
+			if !seen[b] {
+				seen[b] = true
+				onAll[b]++
+			}
+		}
+	}
+	n := 0
+	for _, b := range r.Blocks {
+		if onAll[b] == len(r.Paths) {
+			continue
+		}
+		for _, in := range b.Instrs {
+			if in.Op.IsMemory() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// NumOps returns the number of dataflow operations in the frame, excluding
+// undo-log bookkeeping.
+func (fr *Frame) NumOps() int { return len(fr.Ops) }
+
+// TotalOps returns dataflow operations plus undo-log bookkeeping: the work
+// the accelerator actually performs per invocation.
+func (fr *Frame) TotalOps() int { return len(fr.Ops) + fr.UndoOps }
+
+// CriticalPath returns the length (in ops) of the longest dependence chain
+// through the frame: the dataflow-limited lower bound on execution.
+func (fr *Frame) CriticalPath() int {
+	depth := make([]int, len(fr.Ops))
+	max := 0
+	for i, op := range fr.Ops {
+		d := 1
+		for _, dep := range op.Deps {
+			if depth[dep]+1 > d {
+				d = depth[dep] + 1
+			}
+		}
+		depth[i] = d
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// ILP returns ops divided by critical path length: the average dataflow
+// parallelism the frame exposes.
+func (fr *Frame) ILP() float64 {
+	cp := fr.CriticalPath()
+	if cp == 0 {
+		return 0
+	}
+	return float64(len(fr.Ops)) / float64(cp)
+}
+
+// Dot renders the frame's dataflow graph in Graphviz DOT format: one node
+// per op (guards as diamonds, selects as trapezia, memory shaded) and one
+// edge per dependence. Useful for inspecting what a region compiles to:
+//
+//	needle -workload 470.lbm -dot | dot -Tsvg > frame.svg
+func (fr *Frame) Dot() string {
+	var sb strings.Builder
+	sb.WriteString("digraph frame {\n  rankdir=TB;\n  node [fontsize=9];\n")
+	for i, op := range fr.Ops {
+		label := op.Instr.Op.String()
+		if op.Instr.Dst != ir.NoReg {
+			label = op.Instr.Dst.String() + " = " + label
+		}
+		attr := "shape=box"
+		switch {
+		case op.Guard:
+			attr = "shape=diamond, style=filled, fillcolor=lightyellow"
+		case op.Select:
+			attr = "shape=trapezium"
+		case op.Instr.Op.IsMemory():
+			attr = "shape=box, style=filled, fillcolor=lightgrey"
+		}
+		fmt.Fprintf(&sb, "  n%d [label=%q, %s];\n", i, label, attr)
+		for _, d := range op.Deps {
+			fmt.Fprintf(&sb, "  n%d -> n%d;\n", d, i)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}

@@ -1,0 +1,476 @@
+package frame
+
+import (
+	"strings"
+	"testing"
+
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/profile"
+	"needle/internal/region"
+)
+
+// memLoopSrc walks an array; values above a threshold are doubled in place.
+// Parameters: base address, length, threshold.
+const memLoopSrc = `func @memloop(i64, i64, i64) {
+entry:
+  r4 = const.i64 0
+  br %head
+head:
+  r5 = phi.i64 [entry: r4] [latch: r6]
+  r7 = cmp.lt r5, r2
+  condbr r7, %body, %exit
+body:
+  r8 = add r1, r5
+  r9 = load.i64 r8
+  r10 = cmp.gt r9, r3
+  condbr r10, %big, %latch
+big:
+  r11 = const.i64 2
+  r12 = mul r9, r11
+  store.i64 r8, r12
+  br %latch
+latch:
+  r13 = const.i64 1
+  r6 = add r5, r13
+  br %head
+exit:
+  ret
+}
+`
+
+func setup(t testing.TB) (*ir.Function, *profile.FunctionProfile) {
+	t.Helper()
+	f, err := ir.ParseFunction(memLoopSrc)
+	if err != nil {
+		t.Fatalf("ParseFunction: %v", err)
+	}
+	mem := make([]uint64, 64)
+	for i := range mem {
+		mem[i] = interp.IBits(int64(i % 10))
+	}
+	fp, err := profile.CollectFunction(f,
+		[]uint64{interp.IBits(0), interp.IBits(64), interp.IBits(4)}, mem, true, 0)
+	if err != nil {
+		t.Fatalf("CollectFunction: %v", err)
+	}
+	return f, fp
+}
+
+func TestBuildPathFrame(t *testing.T) {
+	f, fp := setup(t)
+	hot := fp.HottestPath()
+	r := region.FromPath(f, hot)
+	fr, err := Build(r, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if fr.Guards != hot.Branches {
+		t.Errorf("guards = %d, want %d (all path branches become guards)", fr.Guards, hot.Branches)
+	}
+	if fr.Selects != 0 {
+		t.Errorf("path frame has %d selects, want 0", fr.Selects)
+	}
+	if fr.HoistedMemOps != r.NumMemOps() {
+		t.Errorf("hoisted mem ops = %d, want %d (all of them)", fr.HoistedMemOps, r.NumMemOps())
+	}
+	// Stores are instrumented with undo bookkeeping.
+	if fr.Stores > 0 && fr.UndoOps != 2*fr.Stores {
+		t.Errorf("undo ops = %d, want %d", fr.UndoOps, 2*fr.Stores)
+	}
+	if fr.TotalOps() != fr.NumOps()+fr.UndoOps {
+		t.Error("TotalOps bookkeeping wrong")
+	}
+	// Live-ins must include the frame arguments: base (r1), len (r2),
+	// threshold (r3) and the induction phi.
+	if len(fr.LiveIn) < 3 {
+		t.Errorf("live-ins = %v, want at least the 3 parameters", fr.LiveIn)
+	}
+}
+
+func TestBuildBraidFrame(t *testing.T) {
+	_, fp := setup(t)
+	braids := region.BuildBraids(fp, 0)
+	if len(braids) == 0 {
+		t.Fatal("no braids")
+	}
+	top := braids[0]
+	if top.MergedPathCount() < 2 {
+		t.Fatalf("merged = %d, want >= 2", top.MergedPathCount())
+	}
+	fr, err := Build(&top.Region, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	if fr.Guards != top.Guards+top.IFs {
+		// Frame conversion turns every condbr into either a guard or a
+		// predicate source; Build counts all condbrs as guards plus keeps
+		// the braid's split available on the region.
+		t.Logf("frame guards=%d braid guards=%d IFs=%d", fr.Guards, top.Guards, top.IFs)
+	}
+	// Braid keeps the divergent store control dependent.
+	if fr.HoistedMemOps >= top.NumMemOps() {
+		t.Errorf("hoisted=%d of %d mem ops; divergent store should stay dependent",
+			fr.HoistedMemOps, top.NumMemOps())
+	}
+}
+
+func TestBraidFrameSelects(t *testing.T) {
+	// A value-merging diamond inside a loop: the join phi must become a
+	// select in the braid frame.
+	src := `func @vm(i64) {
+entry:
+  r2 = const.i64 0
+  br %head
+head:
+  r3 = phi.i64 [entry: r2] [join: r9]
+  r4 = phi.i64 [entry: r2] [join: r10]
+  r5 = cmp.lt r3, r1
+  condbr r5, %body, %exit
+body:
+  r6 = const.i64 3
+  r7 = rem r3, r6
+  r8 = cmp.eq r7, r2
+  condbr r8, %a, %b
+a:
+  r11 = add r4, r3
+  br %join
+b:
+  r12 = sub r4, r3
+  br %join
+join:
+  r13 = phi.i64 [a: r11] [b: r12]
+  r10 = add r13, r2
+  r14 = const.i64 1
+  r9 = add r3, r14
+  br %head
+exit:
+  ret r4
+}
+`
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(60)}, nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := region.BuildBraids(fp, 0)[0]
+	if top.MergedPathCount() < 2 {
+		t.Fatalf("merged = %d", top.MergedPathCount())
+	}
+	fr, err := Build(&top.Region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Selects == 0 {
+		t.Error("braid frame should convert merge phis to selects")
+	}
+	if fr.Cancelled != 0 {
+		t.Errorf("braid frame cancelled %d phis; braids keep merges", fr.Cancelled)
+	}
+}
+
+func TestBuildRejectsSuperblock(t *testing.T) {
+	f, fp := setup(t)
+	sb := region.BuildSuperblock(fp, f.Entry(), 0)
+	if _, err := Build(&sb.Region, Options{}); err == nil {
+		t.Fatal("expected error framing a superblock")
+	}
+}
+
+func TestDependencesRespectProgramOrder(t *testing.T) {
+	f, fp := setup(t)
+	// Braid containing load+store: store must depend on load (same address
+	// conservative ordering), and later loads on the store.
+	braids := region.BuildBraids(fp, 0)
+	fr, err := Build(&braids[0].Region, Options{})
+	if err != nil {
+		t.Fatalf("Build: %v", err)
+	}
+	_ = f
+	loadIdx, storeIdx := -1, -1
+	for i, op := range fr.Ops {
+		switch op.Instr.Op {
+		case ir.OpLoad:
+			if loadIdx < 0 {
+				loadIdx = i
+			}
+		case ir.OpStore:
+			storeIdx = i
+		}
+	}
+	if loadIdx < 0 || storeIdx < 0 {
+		t.Fatal("expected load and store ops in frame")
+	}
+	// Every dep index must be smaller than the op's own index (topological).
+	for i, op := range fr.Ops {
+		for _, d := range op.Deps {
+			if d >= i {
+				t.Fatalf("op %d depends on later op %d", i, d)
+			}
+		}
+	}
+	// The store depends (transitively) on the load via the address/value
+	// registers; check direct or indirect reachability.
+	if !reaches(fr, storeIdx, loadIdx) {
+		t.Error("store should depend on the load feeding it")
+	}
+}
+
+func reaches(fr *Frame, from, to int) bool {
+	seen := make(map[int]bool)
+	var walk func(i int) bool
+	walk = func(i int) bool {
+		if i == to {
+			return true
+		}
+		if seen[i] {
+			return false
+		}
+		seen[i] = true
+		for _, d := range fr.Ops[i].Deps {
+			if walk(d) {
+				return true
+			}
+		}
+		return false
+	}
+	return walk(from)
+}
+
+func TestGuardPlacementAffectsCriticalPath(t *testing.T) {
+	f, fp := setup(t)
+	_ = f
+	hot := fp.HottestPath()
+	r := region.FromPath(fp.F, hot)
+	async, err := Build(r, Options{Placement: GuardsAsync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Build(r, Options{Placement: GuardsSerialize})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if serial.CriticalPath() < async.CriticalPath() {
+		t.Errorf("serialized guards shortened the critical path: %d < %d",
+			serial.CriticalPath(), async.CriticalPath())
+	}
+	if async.ILP() < serial.ILP() {
+		t.Errorf("async guards should not reduce ILP: %v < %v", async.ILP(), serial.ILP())
+	}
+}
+
+func TestCriticalPathSanity(t *testing.T) {
+	_, fp := setup(t)
+	hot := fp.HottestPath()
+	fr, err := Build(region.FromPath(fp.F, hot), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp := fr.CriticalPath()
+	if cp <= 0 || cp > len(fr.Ops) {
+		t.Fatalf("critical path = %d with %d ops", cp, len(fr.Ops))
+	}
+	if fr.ILP() < 1 {
+		t.Fatalf("ILP = %v, want >= 1", fr.ILP())
+	}
+}
+
+func TestPhiCancellationForwardsProducer(t *testing.T) {
+	// A path through a diamond: consumers after the merge must depend on the
+	// producer from the taken side, through the cancelled phi.
+	src := `func @d(i64) {
+entry:
+  r2 = const.i64 0
+  r3 = cmp.gt r1, r2
+  condbr r3, %pos, %neg
+pos:
+  r4 = add r1, r1
+  br %join
+neg:
+  r5 = sub r2, r1
+  br %join
+join:
+  r6 = phi.i64 [pos: r4] [neg: r5]
+  r7 = mul r6, r6
+  ret r7
+}
+`
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(5)}, nil, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := fp.HottestPath() // entry->pos->join
+	fr, err := Build(region.FromPath(f, hot), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fr.Cancelled != 1 {
+		t.Fatalf("cancelled = %d, want 1", fr.Cancelled)
+	}
+	// Find mul and add ops; mul must reach add through deps.
+	mulIdx, addIdx := -1, -1
+	for i, op := range fr.Ops {
+		switch op.Instr.Op {
+		case ir.OpMul:
+			mulIdx = i
+		case ir.OpAdd:
+			addIdx = i
+		}
+	}
+	if mulIdx < 0 || addIdx < 0 {
+		t.Fatal("missing ops")
+	}
+	if !reaches(fr, mulIdx, addIdx) {
+		t.Error("mul should depend on add through the cancelled phi")
+	}
+}
+
+func TestPredicatedHyperblockFrame(t *testing.T) {
+	f, fp := setup(t)
+	hb := region.BuildHyperblock(fp, f.BlockByName("body"), 0.1)
+	fr, err := Build(&hb.Region, Options{})
+	if err != nil {
+		t.Fatalf("Build(hyperblock): %v", err)
+	}
+	if fr.Guards != 0 {
+		t.Fatalf("predicated frame has %d guards, want 0", fr.Guards)
+	}
+	if fr.Predicates == 0 {
+		t.Fatal("predicated frame should count predicates")
+	}
+	if fr.UndoOps != 0 || fr.Stores == 0 {
+		t.Fatalf("non-speculative frame must not log stores (undo=%d stores=%d)", fr.UndoOps, fr.Stores)
+	}
+	if fr.HoistedMemOps != 0 {
+		t.Fatal("predication hoists nothing above branches")
+	}
+	// Ops in control-dependent blocks must depend on their predicate: the
+	// store in `big` depends on body's branch op.
+	var brIdx, storeIdx int = -1, -1
+	for i, op := range fr.Ops {
+		switch op.Instr.Op {
+		case ir.OpCondBr:
+			brIdx = i
+		case ir.OpStore:
+			storeIdx = i
+		}
+	}
+	if brIdx < 0 || storeIdx < 0 {
+		t.Fatal("expected a predicate and a store")
+	}
+	if !reaches(fr, storeIdx, brIdx) {
+		t.Fatal("predicated store must depend on its controlling predicate")
+	}
+}
+
+func TestPredicatedFrameSerializesMemory(t *testing.T) {
+	f, fp := setup(t)
+	_ = f
+	hb := region.BuildHyperblock(fp, fp.F.BlockByName("body"), 0.1)
+	pr, err := Build(&hb.Region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The same blocks as a braid (speculative) expose more parallelism.
+	braids := region.BuildBraids(fp, 0)
+	sp, err := Build(&braids[0].Region, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.ILP() > sp.ILP() {
+		t.Fatalf("predicated ILP %.2f should not beat speculative ILP %.2f", pr.ILP(), sp.ILP())
+	}
+}
+
+func TestDotExport(t *testing.T) {
+	_, fp := setup(t)
+	fr, err := Build(region.FromPath(fp.F, fp.HottestPath()), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dot := fr.Dot()
+	if !strings.HasPrefix(dot, "digraph frame {") || !strings.HasSuffix(dot, "}\n") {
+		t.Fatal("malformed DOT output")
+	}
+	if strings.Count(dot, "[label=") != len(fr.Ops) {
+		t.Fatalf("DOT node count mismatch: %d vs %d ops", strings.Count(dot, "[label="), len(fr.Ops))
+	}
+	if !strings.Contains(dot, "diamond") {
+		t.Fatal("guards should render as diamonds")
+	}
+}
+
+func TestConservativeOrderingDisambiguates(t *testing.T) {
+	// a[i] and a[i+1]: same base, different constant offsets — provably
+	// distinct, so even conservative ordering lets the load bypass the
+	// store. a[i] vs b[j] (different bases) must stay ordered.
+	src := `func @d(i64, i64) {
+entry:
+  r3 = const.i64 0
+  br %head
+head:
+  r4 = phi.i64 [entry: r3] [body: r5]
+  r6 = cmp.lt r4, r2
+  condbr r6, %body, %exit
+body:
+  r7 = add r1, r4
+  store.i64 r7, r4
+  r8 = const.i64 1
+  r9 = add r7, r8
+  r10 = load.i64 r9
+  r11 = add r4, r10
+  r12 = xor r11, r4
+  store.i64 r12, r4
+  r13 = load.i64 r7
+  r5 = add r4, r8
+  br %head
+exit:
+  ret
+}
+`
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mem := make([]uint64, 128)
+	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := Build(region.FromPath(f, fp.HottestPath()), Options{Ordering: MemConservative})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Locate ops: store@r7, load@r9 (=r7+1), store@r12 (opaque), load@r7.
+	var memIdx []int
+	for i, op := range fr.Ops {
+		if op.Instr.Op.IsMemory() {
+			memIdx = append(memIdx, i)
+		}
+	}
+	if len(memIdx) != 4 {
+		t.Fatalf("expected 4 memory ops, got %d", len(memIdx))
+	}
+	st1, ld1, st2, ld2 := memIdx[0], memIdx[1], memIdx[2], memIdx[3]
+	depOn := func(i, j int) bool {
+		for _, d := range fr.Ops[i].Deps {
+			if d == j {
+				return true
+			}
+		}
+		return false
+	}
+	if depOn(ld1, st1) {
+		t.Error("load a[i+1] should not be ordered after store a[i] (disjoint words)")
+	}
+	if !depOn(st2, ld1) || !depOn(ld2, st2) {
+		t.Error("opaque-address store must stay ordered against surrounding accesses")
+	}
+}

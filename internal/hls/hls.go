@@ -1,0 +1,106 @@
+// Package hls estimates FPGA synthesis results for Needle frames, standing
+// in for the paper's LegUp-style RTL backend targeting an Altera Cyclone V
+// SoC (Section VI, "HLS for NEEDLE identified Braids"). The estimator maps
+// each dataflow operation to an Adaptive Logic Module (ALM) budget and a
+// dynamic-power contribution, reproducing the reported shape: most
+// workloads below 20% of the ~85K ALM device, with double-precision
+// floating-point frames (e.g. 470.lbm) far above, and power in the
+// 5-305 mW band.
+package hls
+
+import (
+	"needle/internal/frame"
+	"needle/internal/ir"
+)
+
+// Device describes the target FPGA fabric.
+type Device struct {
+	ALMs    int     // total adaptive logic modules (~85K on the Cyclone V)
+	ClockMW float64 // baseline clock-tree dynamic power, mW
+}
+
+// CycloneV returns the paper's target device.
+func CycloneV() Device { return Device{ALMs: 85000, ClockMW: 4} }
+
+// ALMCost returns the ALM budget of one operation's datapath.
+func ALMCost(op ir.Op) int {
+	switch op {
+	case ir.OpAdd, ir.OpSub, ir.OpAnd, ir.OpOr, ir.OpXor,
+		ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE:
+		return 32
+	case ir.OpShl, ir.OpShr:
+		return 64 // barrel shifter
+	case ir.OpMul:
+		return 180 // DSP-assisted, ALM equivalent
+	case ir.OpDiv, ir.OpRem:
+		return 1100
+	case ir.OpFAdd, ir.OpFSub, ir.OpFCmpEQ, ir.OpFCmpNE,
+		ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		return 380 // LegUp-style FU sharing amortizes the adder network
+	case ir.OpFMul:
+		return 460
+	case ir.OpFDiv, ir.OpSqrt:
+		return 2000
+	case ir.OpExp, ir.OpLog:
+		return 2200 // shared CORDIC core
+	case ir.OpSIToFP, ir.OpFPToSI:
+		return 280
+	case ir.OpLoad, ir.OpStore:
+		return 70 // Avalon/AXI port adapter share
+	case ir.OpSelect, ir.OpPhi:
+		return 24
+	case ir.OpCondBr:
+		return 16 // guard comparator + exit mux
+	case ir.OpConst, ir.OpCopy:
+		return 4
+	}
+	return 8
+}
+
+// powerUW returns the per-op dynamic power contribution in microwatts,
+// assuming the unit toggles every cycle at the synthesized clock.
+func powerUW(op ir.Op) float64 {
+	switch {
+	case op == ir.OpFDiv || op == ir.OpSqrt || op == ir.OpExp || op == ir.OpLog:
+		return 2400
+	case op.IsFloat():
+		return 900
+	case op == ir.OpDiv || op == ir.OpRem:
+		return 700
+	case op == ir.OpMul:
+		return 350
+	case op.IsMemory():
+		return 240
+	}
+	return 60
+}
+
+// Report is the synthesis estimate for one frame.
+type Report struct {
+	ALMs        int
+	Utilization float64 // fraction of the device
+	PowerMW     float64
+	Fits        bool
+}
+
+// Synthesize estimates mapping a frame onto the device.
+func Synthesize(fr *frame.Frame, dev Device) Report {
+	if dev.ALMs == 0 {
+		dev = CycloneV()
+	}
+	alms := 0
+	power := dev.ClockMW
+	for _, op := range fr.Ops {
+		alms += ALMCost(op.Instr.Op)
+		power += powerUW(op.Instr.Op) / 1000
+	}
+	// Undo-log ports and live-value marshalling registers.
+	alms += fr.Stores * 120
+	alms += (len(fr.LiveIn) + len(fr.LiveOut)) * 40
+	return Report{
+		ALMs:        alms,
+		Utilization: float64(alms) / float64(dev.ALMs),
+		PowerMW:     power,
+		Fits:        alms <= dev.ALMs,
+	}
+}

@@ -1,0 +1,101 @@
+package hls
+
+import (
+	"testing"
+
+	"needle/internal/frame"
+	"needle/internal/ir"
+	"needle/internal/profile"
+	"needle/internal/region"
+	"needle/internal/workloads"
+)
+
+func hotFrame(t testing.TB, name string) *frame.Frame {
+	t.Helper()
+	w := workloads.ByName(name)
+	f, args, memory := w.Instance(600)
+	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fr
+}
+
+func TestIntegerKernelIsSmall(t *testing.T) {
+	fr := hotFrame(t, "429.mcf")
+	r := Synthesize(fr, CycloneV())
+	if !r.Fits {
+		t.Fatal("small integer frame must fit the device")
+	}
+	if r.Utilization > 0.20 {
+		t.Fatalf("mcf utilization = %.0f%%, want < 20%% (the paper's common case)", r.Utilization*100)
+	}
+	if r.PowerMW <= 0 || r.PowerMW > 60 {
+		t.Fatalf("mcf power = %v mW, want in the paper's 5-60mW band", r.PowerMW)
+	}
+}
+
+func TestDoublePrecisionKernelIsLarge(t *testing.T) {
+	small := Synthesize(hotFrame(t, "429.mcf"), CycloneV())
+	big := Synthesize(hotFrame(t, "470.lbm"), CycloneV())
+	if big.ALMs <= 3*small.ALMs {
+		t.Fatalf("lbm (%d ALMs) should dwarf mcf (%d ALMs)", big.ALMs, small.ALMs)
+	}
+	if big.Utilization < 0.20 {
+		t.Fatalf("lbm utilization = %.0f%%, expected one of the large outliers", big.Utilization*100)
+	}
+	if big.PowerMW <= small.PowerMW {
+		t.Fatal("FP-heavy frame should burn more power")
+	}
+}
+
+func TestALMCostOrdering(t *testing.T) {
+	if ALMCost(ir.OpAdd) >= ALMCost(ir.OpMul) {
+		t.Error("multiplier should cost more than adder")
+	}
+	if ALMCost(ir.OpFAdd) <= ALMCost(ir.OpAdd) {
+		t.Error("FP adder should cost more than integer adder")
+	}
+	if ALMCost(ir.OpFDiv) <= ALMCost(ir.OpFMul) {
+		t.Error("FP divider should cost more than FP multiplier")
+	}
+	if ALMCost(ir.OpConst) >= ALMCost(ir.OpLoad) {
+		t.Error("constants should be nearly free")
+	}
+}
+
+func TestZeroDeviceDefaults(t *testing.T) {
+	fr := hotFrame(t, "429.mcf")
+	r := Synthesize(fr, Device{})
+	if r.Utilization <= 0 {
+		t.Fatal("zero device should default to the Cyclone V")
+	}
+}
+
+func TestEveryOpcodeHasACost(t *testing.T) {
+	// Any opcode must produce a positive ALM estimate (the default branch
+	// catches additions to the opcode set).
+	for op := ir.Op(0); op < ir.OpRet+1; op++ {
+		if ALMCost(op) <= 0 {
+			t.Errorf("ALMCost(%v) = %d", op, ALMCost(op))
+		}
+	}
+}
+
+func TestSynthesizeChargesLiveValuesAndStores(t *testing.T) {
+	fr := hotFrame(t, "456.hmmer") // has stores and a wide live set
+	dev := CycloneV()
+	full := Synthesize(fr, dev)
+	// Rebuild a copy with no undo overhead to isolate store port charge.
+	var opsOnly int
+	for _, op := range fr.Ops {
+		opsOnly += ALMCost(op.Instr.Op)
+	}
+	if full.ALMs <= opsOnly {
+		t.Fatal("synthesis should charge stores and live-value registers beyond raw op cost")
+	}
+}

@@ -1,0 +1,334 @@
+package interp
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"needle/internal/ir"
+)
+
+func parse(t testing.TB, src string) *ir.Function {
+	t.Helper()
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatalf("ParseFunction: %v", err)
+	}
+	return f
+}
+
+func buildSumLoop(t testing.TB) *ir.Function {
+	// Written with the builder to keep the source honest against typos.
+	b := ir.NewBuilder("sum", ir.I64)
+	n := b.Param(0)
+	zero := b.ConstI(0)
+	one := b.ConstI(1)
+	head := b.NewBlock("head")
+	body := b.NewBlock("body")
+	exit := b.NewBlock("exit")
+	entry := b.Block()
+	b.Br(head)
+
+	b.SetBlock(head)
+	sum := b.Phi(ir.I64)
+	i := b.Phi(ir.I64)
+	c := b.CmpLT(i, n)
+	b.CondBr(c, body, exit)
+
+	b.SetBlock(body)
+	sum2 := b.Add(sum, i)
+	i2 := b.Add(i, one)
+	b.Br(head)
+
+	b.AddIncoming(sum, entry, zero)
+	b.AddIncoming(sum, body, sum2)
+	b.AddIncoming(i, entry, zero)
+	b.AddIncoming(i, body, i2)
+
+	b.SetBlock(exit)
+	b.Ret(sum)
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatalf("build: %v", err)
+	}
+	return f
+}
+
+func TestRunSumLoop(t *testing.T) {
+	f := buildSumLoop(t)
+	res, err := Run(f, []uint64{IBits(10)}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if I(res.Ret) != 45 {
+		t.Fatalf("sum(10) = %d, want 45", I(res.Ret))
+	}
+	if res.Steps == 0 {
+		t.Fatal("no steps counted")
+	}
+}
+
+func TestRunSumLoopProperty(t *testing.T) {
+	f := buildSumLoop(t)
+	check := func(n uint8) bool {
+		res, err := Run(f, []uint64{IBits(int64(n))}, nil, nil, 0)
+		if err != nil {
+			return false
+		}
+		return I(res.Ret) == int64(n)*int64(n-1)/2 || n == 0 && res.Ret == 0
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunFloatKernel(t *testing.T) {
+	src := `func @dist(f64, f64) {
+entry:
+  r3 = fmul r1, r1
+  r4 = fmul r2, r2
+  r5 = fadd r3, r4
+  r6 = sqrt r5
+  ret r6
+}
+`
+	f := parse(t, src)
+	res, err := Run(f, []uint64{FBits(3), FBits(4)}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if got := F(res.Ret); math.Abs(got-5) > 1e-12 {
+		t.Fatalf("dist(3,4) = %v, want 5", got)
+	}
+}
+
+func TestRunMemoryOps(t *testing.T) {
+	src := `func @scale(i64, i64) {
+entry:
+  r3 = const.i64 0
+  br %head
+head:
+  r4 = phi.i64 [entry: r3] [body: r8]
+  r5 = cmp.lt r4, r2
+  condbr r5, %body, %exit
+body:
+  r6 = add r1, r4
+  r7 = load.i64 r6
+  r9 = mul r7, r7
+  store.i64 r6, r9
+  r10 = const.i64 1
+  r8 = add r4, r10
+  br %head
+exit:
+  ret
+}
+`
+	f := parse(t, src)
+	mem := []uint64{IBits(2), IBits(3), IBits(4)}
+	if _, err := Run(f, []uint64{IBits(0), IBits(3)}, mem, nil, 0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int64{4, 9, 16}
+	for i, w := range want {
+		if I(mem[i]) != w {
+			t.Errorf("mem[%d] = %d, want %d", i, I(mem[i]), w)
+		}
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	divSrc := `func @d(i64, i64) {
+entry:
+  r3 = div r1, r2
+  ret r3
+}
+`
+	f := parse(t, divSrc)
+	if _, err := Run(f, []uint64{IBits(1), IBits(0)}, nil, nil, 0); !errors.Is(err, ErrDivideByZero) {
+		t.Errorf("want ErrDivideByZero, got %v", err)
+	}
+
+	oobSrc := `func @o(i64) {
+entry:
+  r2 = load.i64 r1
+  ret r2
+}
+`
+	g := parse(t, oobSrc)
+	if _, err := Run(g, []uint64{IBits(99)}, make([]uint64, 4), nil, 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("want ErrOutOfBounds, got %v", err)
+	}
+	if _, err := Run(g, []uint64{IBits(-1)}, make([]uint64, 4), nil, 0); !errors.Is(err, ErrOutOfBounds) {
+		t.Errorf("negative address: want ErrOutOfBounds, got %v", err)
+	}
+
+	loop := buildSumLoop(t)
+	if _, err := Run(loop, []uint64{IBits(1 << 40)}, nil, nil, 100); !errors.Is(err, ErrStepLimit) {
+		t.Errorf("want ErrStepLimit, got %v", err)
+	}
+
+	if _, err := Run(loop, nil, nil, nil, 0); err == nil {
+		t.Error("want arity error")
+	}
+}
+
+func TestHooksFireInOrder(t *testing.T) {
+	f := buildSumLoop(t)
+	var blocks []string
+	var edges []string
+	var instrs int
+	exited := ""
+	hooks := &Hooks{
+		Block: func(b *ir.Block) { blocks = append(blocks, b.Name) },
+		Edge:  func(from, to *ir.Block) { edges = append(edges, from.Name+"->"+to.Name) },
+		Instr: func(in *ir.Instr) { instrs++ },
+		Exit:  func(b *ir.Block) { exited = b.Name },
+	}
+	res, err := Run(f, []uint64{IBits(2)}, nil, hooks, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	wantBlocks := []string{"entry", "head", "body", "head", "body", "head", "exit"}
+	if len(blocks) != len(wantBlocks) {
+		t.Fatalf("blocks = %v, want %v", blocks, wantBlocks)
+	}
+	for i := range blocks {
+		if blocks[i] != wantBlocks[i] {
+			t.Fatalf("blocks = %v, want %v", blocks, wantBlocks)
+		}
+	}
+	if len(edges) != len(wantBlocks)-1 {
+		t.Fatalf("edges = %v", edges)
+	}
+	if edges[0] != "entry->head" || edges[len(edges)-1] != "head->exit" {
+		t.Fatalf("edges = %v", edges)
+	}
+	if int64(instrs) != res.Steps {
+		t.Fatalf("instr hook fired %d times, steps = %d", instrs, res.Steps)
+	}
+	if exited != "exit" {
+		t.Fatalf("exit block = %q", exited)
+	}
+}
+
+func TestSelectAndConversions(t *testing.T) {
+	src := `func @sel(i64) {
+entry:
+  r2 = const.i64 10
+  r3 = cmp.ge r1, r2
+  r4 = sitofp r1
+  r5 = const.f64 2.5
+  r6 = fmul r4, r5
+  r7 = fptosi r6
+  r8 = select.i64 r3, r7, r2
+  ret r8
+}
+`
+	f := parse(t, src)
+	res, err := Run(f, []uint64{IBits(20)}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if I(res.Ret) != 50 {
+		t.Fatalf("sel(20) = %d, want 50", I(res.Ret))
+	}
+	res, err = Run(f, []uint64{IBits(3)}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if I(res.Ret) != 10 {
+		t.Fatalf("sel(3) = %d, want 10", I(res.Ret))
+	}
+}
+
+func TestBitwiseOpsProperty(t *testing.T) {
+	src := `func @bits(i64, i64) {
+entry:
+  r3 = and r1, r2
+  r4 = or r1, r2
+  r5 = xor r3, r4
+  ret r5
+}
+`
+	f := parse(t, src)
+	// a&b ^ a|b == a^b for all a, b.
+	check := func(x, y int64) bool {
+		res, err := Run(f, []uint64{IBits(x), IBits(y)}, nil, nil, 0)
+		return err == nil && I(res.Ret) == x^y
+	}
+	if err := quick.Check(check, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCallExecution(t *testing.T) {
+	src := `func @sq(i64) {
+entry:
+  r2 = mul r1, r1
+  ret r2
+}
+
+func @main(i64) {
+entry:
+  r2 = call.i64 @sq r1
+  r3 = const.i64 1
+  r4 = add r2, r3
+  r5 = call.i64 @sq r4
+  ret r5
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Run(m.Func("main"), []uint64{IBits(3)}, nil, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if I(res.Ret) != 100 { // (3*3+1)^2
+		t.Fatalf("main(3) = %d, want 100", I(res.Ret))
+	}
+}
+
+func TestCallDepthLimit(t *testing.T) {
+	// Build infinite recursion by hand and confirm the depth guard fires.
+	f := &ir.Function{Name: "rec", Params: []ir.Type{ir.I64}, RegType: []ir.Type{ir.I64, ir.I64, ir.I64}}
+	blk := &ir.Block{Name: "entry"}
+	blk.Instrs = []*ir.Instr{
+		{Op: ir.OpCall, Type: ir.I64, Dst: 2, Args: []ir.Reg{1}, Callee: f},
+		{Op: ir.OpRet, Type: ir.I64, Args: []ir.Reg{2}},
+	}
+	f.Blocks = []*ir.Block{blk}
+	f.Finish()
+	if _, err := Run(f, []uint64{0}, nil, nil, 0); !errors.Is(err, ErrCallDepth) {
+		t.Fatalf("want ErrCallDepth, got %v", err)
+	}
+}
+
+func TestCallHooksFireForCallee(t *testing.T) {
+	src := `func @id(i64) {
+entry:
+  ret r1
+}
+
+func @main(i64) {
+entry:
+  r2 = call.i64 @id r1
+  ret r2
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var blocks []string
+	hooks := &Hooks{Block: func(b *ir.Block) { blocks = append(blocks, b.Name) }}
+	if _, err := Run(m.Func("main"), []uint64{IBits(7)}, nil, hooks, 0); err != nil {
+		t.Fatal(err)
+	}
+	// Both functions' entry blocks fire (same name, two functions).
+	if len(blocks) != 2 {
+		t.Fatalf("block events = %v, want 2 entries", blocks)
+	}
+}

@@ -1,0 +1,272 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+)
+
+// Builder constructs a Function incrementally. It tracks a current insertion
+// block; emit methods append to that block and return the destination
+// register of the new instruction.
+//
+// The builder panics on structural misuse (emitting into a terminated block,
+// adding incoming values to a non-phi). Misuse is a programming error in the
+// kernel under construction, not a runtime condition, so a panic with a
+// precise message is the most useful failure mode; Finish additionally runs
+// the verifier and returns any semantic error.
+type Builder struct {
+	f    *Function
+	cur  *Block
+	phis map[Reg]*Instr // phi instructions awaiting incoming edges
+}
+
+// NewBuilder starts a function with the given name and parameter types.
+// The entry block is created and selected for insertion.
+func NewBuilder(name string, params ...Type) *Builder {
+	f := &Function{
+		Name:    name,
+		Params:  params,
+		RegType: make([]Type, 1+len(params)), // index 0 unused
+	}
+	for i, t := range params {
+		f.RegType[1+i] = t
+	}
+	b := &Builder{f: f, phis: make(map[Reg]*Instr)}
+	entry := b.NewBlock("entry")
+	b.SetBlock(entry)
+	return b
+}
+
+// Func returns the function under construction.
+func (b *Builder) Func() *Function { return b.f }
+
+// Param returns the register holding parameter i (0-based).
+func (b *Builder) Param(i int) Reg {
+	if i < 0 || i >= len(b.f.Params) {
+		panic(fmt.Sprintf("ir: function %s has no parameter %d", b.f.Name, i))
+	}
+	return Reg(i + 1)
+}
+
+// NewBlock appends a new empty block with the given name.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Name: name}
+	b.f.Blocks = append(b.f.Blocks, blk)
+	return blk
+}
+
+// SetBlock selects the block that subsequent emissions append to.
+func (b *Builder) SetBlock(blk *Block) { b.cur = blk }
+
+// Block returns the current insertion block.
+func (b *Builder) Block() *Block { return b.cur }
+
+func (b *Builder) newReg(t Type) Reg {
+	b.f.RegType = append(b.f.RegType, t)
+	return Reg(len(b.f.RegType) - 1)
+}
+
+func (b *Builder) emit(in *Instr) {
+	if b.cur == nil {
+		panic("ir: no insertion block selected")
+	}
+	if t := b.cur.Term(); t != nil {
+		panic(fmt.Sprintf("ir: block %s of %s already terminated", b.cur.Name, b.f.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+}
+
+// ConstI emits an i64 constant.
+func (b *Builder) ConstI(v int64) Reg {
+	dst := b.newReg(I64)
+	b.emit(&Instr{Op: OpConst, Type: I64, Dst: dst, Imm: v})
+	return dst
+}
+
+// ConstF emits an f64 constant.
+func (b *Builder) ConstF(v float64) Reg {
+	dst := b.newReg(F64)
+	b.emit(&Instr{Op: OpConst, Type: F64, Dst: dst, Imm: int64(math.Float64bits(v))})
+	return dst
+}
+
+// Bin emits a binary operation. The result type follows the opcode.
+func (b *Builder) Bin(op Op, x, y Reg) Reg {
+	t := I64
+	if op.IsFloat() && !op.IsCompare() {
+		t = F64
+	}
+	dst := b.newReg(op.ResultType(t))
+	b.emit(&Instr{Op: op, Type: t, Dst: dst, Args: []Reg{x, y}})
+	return dst
+}
+
+// Integer arithmetic shorthands.
+
+func (b *Builder) Add(x, y Reg) Reg { return b.Bin(OpAdd, x, y) }
+func (b *Builder) Sub(x, y Reg) Reg { return b.Bin(OpSub, x, y) }
+func (b *Builder) Mul(x, y Reg) Reg { return b.Bin(OpMul, x, y) }
+func (b *Builder) Div(x, y Reg) Reg { return b.Bin(OpDiv, x, y) }
+func (b *Builder) Rem(x, y Reg) Reg { return b.Bin(OpRem, x, y) }
+func (b *Builder) And(x, y Reg) Reg { return b.Bin(OpAnd, x, y) }
+func (b *Builder) Or(x, y Reg) Reg  { return b.Bin(OpOr, x, y) }
+func (b *Builder) Xor(x, y Reg) Reg { return b.Bin(OpXor, x, y) }
+func (b *Builder) Shl(x, y Reg) Reg { return b.Bin(OpShl, x, y) }
+func (b *Builder) Shr(x, y Reg) Reg { return b.Bin(OpShr, x, y) }
+
+// Floating-point arithmetic shorthands.
+
+func (b *Builder) FAdd(x, y Reg) Reg { return b.Bin(OpFAdd, x, y) }
+func (b *Builder) FSub(x, y Reg) Reg { return b.Bin(OpFSub, x, y) }
+func (b *Builder) FMul(x, y Reg) Reg { return b.Bin(OpFMul, x, y) }
+func (b *Builder) FDiv(x, y Reg) Reg { return b.Bin(OpFDiv, x, y) }
+
+// Unary emits a unary floating-point intrinsic (sqrt, exp, log) or a
+// conversion.
+func (b *Builder) Unary(op Op, x Reg) Reg {
+	t := F64
+	if op == OpFPToSI {
+		t = I64
+	}
+	dst := b.newReg(t)
+	b.emit(&Instr{Op: op, Type: t, Dst: dst, Args: []Reg{x}})
+	return dst
+}
+
+func (b *Builder) Sqrt(x Reg) Reg   { return b.Unary(OpSqrt, x) }
+func (b *Builder) Exp(x Reg) Reg    { return b.Unary(OpExp, x) }
+func (b *Builder) Log(x Reg) Reg    { return b.Unary(OpLog, x) }
+func (b *Builder) SIToFP(x Reg) Reg { return b.Unary(OpSIToFP, x) }
+func (b *Builder) FPToSI(x Reg) Reg { return b.Unary(OpFPToSI, x) }
+
+// Cmp emits an integer comparison producing 0 or 1.
+func (b *Builder) Cmp(op Op, x, y Reg) Reg { return b.Bin(op, x, y) }
+
+// Comparison shorthands.
+
+func (b *Builder) CmpEQ(x, y Reg) Reg  { return b.Bin(OpCmpEQ, x, y) }
+func (b *Builder) CmpNE(x, y Reg) Reg  { return b.Bin(OpCmpNE, x, y) }
+func (b *Builder) CmpLT(x, y Reg) Reg  { return b.Bin(OpCmpLT, x, y) }
+func (b *Builder) CmpLE(x, y Reg) Reg  { return b.Bin(OpCmpLE, x, y) }
+func (b *Builder) CmpGT(x, y Reg) Reg  { return b.Bin(OpCmpGT, x, y) }
+func (b *Builder) CmpGE(x, y Reg) Reg  { return b.Bin(OpCmpGE, x, y) }
+func (b *Builder) FCmpLT(x, y Reg) Reg { return b.Bin(OpFCmpLT, x, y) }
+func (b *Builder) FCmpLE(x, y Reg) Reg { return b.Bin(OpFCmpLE, x, y) }
+func (b *Builder) FCmpGT(x, y Reg) Reg { return b.Bin(OpFCmpGT, x, y) }
+func (b *Builder) FCmpGE(x, y Reg) Reg { return b.Bin(OpFCmpGE, x, y) }
+func (b *Builder) FCmpEQ(x, y Reg) Reg { return b.Bin(OpFCmpEQ, x, y) }
+func (b *Builder) FCmpNE(x, y Reg) Reg { return b.Bin(OpFCmpNE, x, y) }
+
+// Copy emits a register copy.
+func (b *Builder) Copy(x Reg) Reg {
+	t := b.f.RegType[x]
+	dst := b.newReg(t)
+	b.emit(&Instr{Op: OpCopy, Type: t, Dst: dst, Args: []Reg{x}})
+	return dst
+}
+
+// Select emits Dst = cond != 0 ? x : y.
+func (b *Builder) Select(cond, x, y Reg) Reg {
+	t := b.f.RegType[x]
+	dst := b.newReg(t)
+	b.emit(&Instr{Op: OpSelect, Type: t, Dst: dst, Args: []Reg{cond, x, y}})
+	return dst
+}
+
+// Load emits a typed load from the word address in addr.
+func (b *Builder) Load(t Type, addr Reg) Reg {
+	dst := b.newReg(t)
+	b.emit(&Instr{Op: OpLoad, Type: t, Dst: dst, Args: []Reg{addr}})
+	return dst
+}
+
+// Store emits a store of val to the word address in addr. The stored type is
+// taken from val's register type.
+func (b *Builder) Store(addr, val Reg) {
+	b.emit(&Instr{Op: OpStore, Type: b.f.RegType[val], Args: []Reg{addr, val}})
+}
+
+// Call emits a call to callee with the given arguments. The callee must
+// return a value; its type becomes the destination type.
+func (b *Builder) Call(callee *Function, args ...Reg) Reg {
+	t, ok := callee.ReturnType()
+	if !ok {
+		panic(fmt.Sprintf("ir: call to void function %s", callee.Name))
+	}
+	dst := b.newReg(t)
+	b.emit(&Instr{Op: OpCall, Type: t, Dst: dst, Args: args, Callee: callee})
+	return dst
+}
+
+// Phi emits a phi node of the given type with no incoming edges yet; use
+// AddIncoming to attach them once predecessor values exist.
+func (b *Builder) Phi(t Type) Reg {
+	dst := b.newReg(t)
+	in := &Instr{Op: OpPhi, Type: t, Dst: dst}
+	if b.cur == nil {
+		panic("ir: no insertion block selected")
+	}
+	// Phis must stay grouped at the top of the block.
+	n := 0
+	for n < len(b.cur.Instrs) && b.cur.Instrs[n].Op == OpPhi {
+		n++
+	}
+	if n != len(b.cur.Instrs) {
+		panic(fmt.Sprintf("ir: phi emitted after non-phi in block %s", b.cur.Name))
+	}
+	b.cur.Instrs = append(b.cur.Instrs, in)
+	b.phis[dst] = in
+	return dst
+}
+
+// AddIncoming attaches an incoming (predecessor block, value) pair to a phi
+// created by Phi.
+func (b *Builder) AddIncoming(phi Reg, from *Block, val Reg) {
+	in, ok := b.phis[phi]
+	if !ok {
+		panic(fmt.Sprintf("ir: %s is not a phi register", phi))
+	}
+	in.Args = append(in.Args, val)
+	in.Blocks = append(in.Blocks, from)
+}
+
+// Br terminates the current block with an unconditional branch.
+func (b *Builder) Br(target *Block) {
+	b.emit(&Instr{Op: OpBr, Blocks: []*Block{target}})
+}
+
+// CondBr terminates the current block with a conditional branch: taken if
+// cond != 0, otherwise not-taken.
+func (b *Builder) CondBr(cond Reg, taken, notTaken *Block) {
+	b.emit(&Instr{Op: OpCondBr, Args: []Reg{cond}, Blocks: []*Block{taken, notTaken}})
+}
+
+// Ret terminates the current block returning val; pass NoReg for void.
+func (b *Builder) Ret(val Reg) {
+	in := &Instr{Op: OpRet}
+	if val != NoReg {
+		in.Args = []Reg{val}
+		in.Type = b.f.RegType[val]
+	}
+	b.emit(in)
+}
+
+// Finish completes construction: it recomputes CFG state and verifies the
+// function, returning it alongside any verification error.
+func (b *Builder) Finish() (*Function, error) {
+	b.f.Finish()
+	if err := Verify(b.f); err != nil {
+		return nil, err
+	}
+	return b.f, nil
+}
+
+// MustFinish is Finish for statically known-good construction code (the
+// workload kernels); it panics on verification failure.
+func (b *Builder) MustFinish() *Function {
+	f, err := b.Finish()
+	if err != nil {
+		panic(fmt.Sprintf("ir: %s failed verification: %v", b.f.Name, err))
+	}
+	return f
+}

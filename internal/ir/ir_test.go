@@ -1,0 +1,401 @@
+package ir
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// buildLoop constructs the canonical counting-loop function used across the
+// package tests:
+//
+//	func @loop(i64) : sums 0..n-1 with an if-diamond on parity.
+func buildLoop(t testing.TB) *Function {
+	t.Helper()
+	b := NewBuilder("loop", I64)
+	n := b.Param(0)
+	zero := b.ConstI(0)
+	one := b.ConstI(1)
+	two := b.ConstI(2)
+
+	head := b.NewBlock("head")
+	even := b.NewBlock("even")
+	odd := b.NewBlock("odd")
+	latch := b.NewBlock("latch")
+	exit := b.NewBlock("exit")
+
+	entry := b.Block()
+	b.Br(head)
+
+	b.SetBlock(head)
+	i := b.Phi(I64)
+	sum := b.Phi(I64)
+	cond := b.CmpLT(i, n)
+	b.CondBr(cond, even, exit)
+
+	b.SetBlock(even)
+	par := b.Rem(i, two)
+	isOdd := b.CmpNE(par, zero)
+	b.CondBr(isOdd, odd, latch)
+
+	b.SetBlock(odd)
+	tripled := b.Mul(i, b.ConstI(3))
+	b.Br(latch)
+
+	b.SetBlock(latch)
+	contrib := b.Phi(I64)
+	b.AddIncoming(contrib, even, i)
+	b.AddIncoming(contrib, odd, tripled)
+	sum2 := b.Add(sum, contrib)
+	i2 := b.Add(i, one)
+	b.Br(head)
+
+	b.AddIncoming(i, entry, zero)
+	b.AddIncoming(i, latch, i2)
+	b.AddIncoming(sum, entry, zero)
+	b.AddIncoming(sum, latch, sum2)
+
+	b.SetBlock(exit)
+	b.Ret(sum)
+
+	f, err := b.Finish()
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+	return f
+}
+
+func TestBuilderProducesVerifiedFunction(t *testing.T) {
+	f := buildLoop(t)
+	if got := len(f.Blocks); got != 6 {
+		t.Fatalf("blocks = %d, want 6", got)
+	}
+	if f.Entry().Name != "entry" {
+		t.Fatalf("entry block = %q", f.Entry().Name)
+	}
+	head := f.BlockByName("head")
+	if head == nil {
+		t.Fatal("missing head block")
+	}
+	if len(head.Preds) != 2 {
+		t.Fatalf("head preds = %d, want 2", len(head.Preds))
+	}
+	if len(head.Phis()) != 2 {
+		t.Fatalf("head phis = %d, want 2", len(head.Phis()))
+	}
+	if got := head.Succs(); len(got) != 2 || got[0].Name != "even" || got[1].Name != "exit" {
+		t.Fatalf("head succs = %v", got)
+	}
+}
+
+func TestVerifyCatchesUnterminatedBlock(t *testing.T) {
+	b := NewBuilder("bad")
+	b.ConstI(1)
+	if _, err := b.Finish(); err == nil {
+		t.Fatal("expected error for unterminated block")
+	}
+}
+
+func TestVerifyCatchesPhiPredMismatch(t *testing.T) {
+	b := NewBuilder("bad")
+	next := b.NewBlock("next")
+	b.Br(next)
+	b.SetBlock(next)
+	p := b.Phi(I64)
+	_ = p // no incoming edges though next has one predecessor
+	b.Ret(NoReg)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "incoming") {
+		t.Fatalf("expected phi incoming mismatch, got %v", err)
+	}
+}
+
+func TestVerifyCatchesTypeMismatch(t *testing.T) {
+	b := NewBuilder("bad", I64, F64)
+	b.Bin(OpFAdd, b.Param(0), b.Param(1)) // param 0 is i64
+	b.Ret(NoReg)
+	if _, err := b.Finish(); err == nil || !strings.Contains(err.Error(), "operand") {
+		t.Fatalf("expected operand type error, got %v", err)
+	}
+}
+
+func TestVerifyCatchesUseOfUndefined(t *testing.T) {
+	f := &Function{Name: "bad", RegType: []Type{I64, I64}}
+	blk := &Block{Name: "entry"}
+	blk.Instrs = append(blk.Instrs, &Instr{Op: OpRet, Args: []Reg{1}, Type: I64})
+	// Register 1 looks like a param but the function declares none.
+	f.Blocks = []*Block{blk}
+	f.Finish()
+	if err := Verify(f); err == nil {
+		t.Fatal("expected use-of-undefined error")
+	}
+}
+
+func TestPrintParseRoundTrip(t *testing.T) {
+	f := buildLoop(t)
+	text := Print(f)
+	g, err := ParseFunction(text)
+	if err != nil {
+		t.Fatalf("Parse: %v\nsource:\n%s", err, text)
+	}
+	text2 := Print(g)
+	if text != text2 {
+		t.Fatalf("round trip mismatch:\n--- first ---\n%s--- second ---\n%s", text, text2)
+	}
+}
+
+func TestParseFloatConstants(t *testing.T) {
+	src := `func @f(f64) {
+entry:
+  r2 = const.f64 3.25
+  r3 = fadd r1, r2
+  r4 = fcmp.lt r3, r2
+  ret r4
+}
+`
+	f, err := ParseFunction(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if f.RegType[2] != F64 || f.RegType[4] != I64 {
+		t.Fatalf("register types wrong: %v", f.RegType)
+	}
+	round := Print(f)
+	if !strings.Contains(round, "const.f64 3.25") {
+		t.Fatalf("float constant did not round trip:\n%s", round)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	cases := []string{
+		"func @f() {\nentry:\n  r1 = bogus r0\n}\n",
+		"func @f() {\nentry:\n  br %nowhere\n}\n",
+		"func @f() {\nentry:\n  r1 = const.i64 zz\n  ret\n}\n",
+		"func @f() {\n  ret\n}\n", // instruction before label
+		"no header",
+	}
+	for _, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("Parse accepted invalid source %q", src)
+		}
+	}
+}
+
+func TestOpPredicates(t *testing.T) {
+	if !OpCondBr.IsTerminator() || !OpRet.IsTerminator() || OpAdd.IsTerminator() {
+		t.Error("IsTerminator misclassifies")
+	}
+	if !OpLoad.IsMemory() || !OpStore.IsMemory() || OpAdd.IsMemory() {
+		t.Error("IsMemory misclassifies")
+	}
+	if !OpFAdd.IsFloat() || OpAdd.IsFloat() {
+		t.Error("IsFloat misclassifies")
+	}
+	if !OpCmpEQ.IsCompare() || !OpFCmpGE.IsCompare() || OpAdd.IsCompare() {
+		t.Error("IsCompare misclassifies")
+	}
+	if OpStore.HasDest() || !OpLoad.HasDest() {
+		t.Error("HasDest misclassifies")
+	}
+	if OpCmpLT.ResultType(I64) != I64 || OpSIToFP.ResultType(I64) != F64 {
+		t.Error("ResultType wrong")
+	}
+}
+
+func TestOpByNameCoversAllOps(t *testing.T) {
+	for op := Op(0); op < opCount; op++ {
+		got, ok := OpByName(op.String())
+		if !ok || got != op {
+			t.Errorf("OpByName(%q) = %v, %v", op.String(), got, ok)
+		}
+	}
+	if _, ok := OpByName("nope"); ok {
+		t.Error("OpByName accepted unknown name")
+	}
+}
+
+func TestBlockNumOps(t *testing.T) {
+	f := buildLoop(t)
+	head := f.BlockByName("head")
+	// head: 2 phis + cmp + condbr -> 3 ops excluding terminator.
+	if got := head.NumOps(); got != 3 {
+		t.Fatalf("NumOps = %d, want 3", got)
+	}
+}
+
+func TestModuleLookup(t *testing.T) {
+	m := &Module{}
+	f := buildLoop(t)
+	m.Add(f)
+	if m.Func("loop") != f {
+		t.Fatal("Func lookup failed")
+	}
+	if m.Func("missing") != nil {
+		t.Fatal("Func returned non-nil for missing name")
+	}
+	if !strings.Contains(PrintModule(m), "func @loop") {
+		t.Fatal("PrintModule missing function")
+	}
+}
+
+func TestCallPrintParseRoundTrip(t *testing.T) {
+	src := `func @helper(i64, i64) {
+entry:
+  r3 = add r1, r2
+  ret r3
+}
+
+func @main(f64, i64) {
+entry:
+  r3 = const.i64 5
+  r4 = call.i64 @helper r2 r3
+  r5 = sitofp r4
+  r6 = fadd r1, r5
+  ret r6
+}
+`
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	text := PrintModule(m)
+	m2, err := Parse(text)
+	if err != nil {
+		t.Fatalf("reparse: %v\n%s", err, text)
+	}
+	if PrintModule(m2) != text {
+		t.Fatal("call round trip mismatch")
+	}
+	main := m2.Func("main")
+	var call *Instr
+	for _, b := range main.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == OpCall {
+				call = in
+			}
+		}
+	}
+	if call == nil || call.Callee != m2.Func("helper") {
+		t.Fatal("callee not resolved to the module's helper")
+	}
+}
+
+func TestParseRejectsBadCalls(t *testing.T) {
+	cases := []string{
+		// unknown callee
+		"func @f(i64) {\nentry:\n  r2 = call.i64 @nope r1\n  ret r2\n}\n",
+		// arity mismatch
+		"func @g(i64, i64) {\nentry:\n  r3 = add r1, r2\n  ret r3\n}\nfunc @f(i64) {\nentry:\n  r2 = call.i64 @g r1\n  ret r2\n}\n",
+		// type mismatch: callee returns i64, call declared f64
+		"func @g(i64) {\nentry:\n  ret r1\n}\nfunc @f(i64) {\nentry:\n  r2 = call.f64 @g r1\n  ret r2\n}\n",
+	}
+	for i, src := range cases {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("case %d: accepted invalid call", i)
+		}
+	}
+}
+
+func TestVerifyInconsistentReturns(t *testing.T) {
+	src := `func @f(i64, f64) {
+entry:
+  r3 = const.i64 0
+  r4 = cmp.lt r1, r3
+  condbr r4, %a, %b
+a:
+  ret r1
+b:
+  ret r2
+}
+`
+	if _, err := Parse(src); err == nil {
+		t.Fatal("expected inconsistent-return error")
+	}
+}
+
+func TestReturnType(t *testing.T) {
+	f, err := ParseFunction("func @f(f64) {\nentry:\n  ret r1\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rt, ok := f.ReturnType(); !ok || rt != F64 {
+		t.Fatalf("ReturnType = %v,%v", rt, ok)
+	}
+	g, err := ParseFunction("func @g() {\nentry:\n  ret\n}\n")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := g.ReturnType(); ok {
+		t.Fatal("void function should report no return type")
+	}
+}
+
+func TestParseTestdataCorpus(t *testing.T) {
+	files, err := filepath.Glob("testdata/*.nir")
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no testdata corpus: %v", err)
+	}
+	for _, file := range files {
+		file := file
+		t.Run(filepath.Base(file), func(t *testing.T) {
+			src, err := os.ReadFile(file)
+			if err != nil {
+				t.Fatal(err)
+			}
+			m, err := Parse(string(src))
+			if err != nil {
+				t.Fatalf("parse: %v", err)
+			}
+			// Round trip through the printer.
+			text := PrintModule(m)
+			m2, err := Parse(text)
+			if err != nil {
+				t.Fatalf("reparse: %v", err)
+			}
+			if PrintModule(m2) != text {
+				t.Fatal("corpus round trip mismatch")
+			}
+		})
+	}
+}
+
+func TestTestdataPrograms(t *testing.T) {
+	// The corpus programs are also semantically meaningful; spot-check fib.
+	src, err := os.ReadFile("testdata/fib.nir")
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := Parse(string(src))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := m.Func("fib")
+	if f == nil {
+		t.Fatal("missing fib")
+	}
+	// fib(10) = 55 computed by hand-walking is checked in interp-level
+	// tests; here confirm the structure: 2 loop-carried pairs + induction.
+	head := f.BlockByName("head")
+	if len(head.Phis()) != 3 {
+		t.Fatalf("fib head has %d phis, want 3", len(head.Phis()))
+	}
+}
+
+func TestCloneFunction(t *testing.T) {
+	f := buildLoop(t)
+	g := CloneFunction(f)
+	if Print(f) != Print(g) {
+		t.Fatal("clone prints differently")
+	}
+	// Mutating the clone must not touch the original.
+	g.Blocks[0].Instrs[0].Imm = 999
+	if f.Blocks[0].Instrs[0].Imm == 999 {
+		t.Fatal("clone shares instructions with the original")
+	}
+	if g.BlockByName("head") == f.BlockByName("head") {
+		t.Fatal("clone shares blocks with the original")
+	}
+	if err := Verify(g); err != nil {
+		t.Fatalf("clone fails verification: %v", err)
+	}
+}

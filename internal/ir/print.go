@@ -1,0 +1,106 @@
+package ir
+
+import (
+	"fmt"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// typedOps is the set of opcodes whose mnemonic carries an explicit type
+// suffix in the textual format because the type is not implied by the
+// opcode itself.
+func opNeedsTypeSuffix(op Op) bool {
+	switch op {
+	case OpConst, OpLoad, OpStore, OpPhi, OpCopy, OpSelect, OpCall:
+		return true
+	}
+	return false
+}
+
+// Mnemonic returns the textual mnemonic for an instruction, including the
+// type suffix where the format requires one (e.g. "load.i64").
+func (in *Instr) Mnemonic() string {
+	if opNeedsTypeSuffix(in.Op) {
+		return in.Op.String() + "." + in.Type.String()
+	}
+	return in.Op.String()
+}
+
+// String renders a single instruction in the textual format.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if in.Op.HasDest() {
+		fmt.Fprintf(&sb, "%s = ", in.Dst)
+	}
+	sb.WriteString(in.Mnemonic())
+	switch in.Op {
+	case OpConst:
+		if in.Type == F64 {
+			f := math.Float64frombits(uint64(in.Imm))
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				fmt.Fprintf(&sb, " bits:%#x", uint64(in.Imm))
+			} else {
+				sb.WriteString(" " + strconv.FormatFloat(f, 'g', -1, 64))
+			}
+		} else {
+			fmt.Fprintf(&sb, " %d", in.Imm)
+		}
+	case OpPhi:
+		for i, a := range in.Args {
+			fmt.Fprintf(&sb, " [%s: %s]", in.Blocks[i].Name, a)
+		}
+	case OpBr:
+		fmt.Fprintf(&sb, " %%%s", in.Blocks[0].Name)
+	case OpCondBr:
+		fmt.Fprintf(&sb, " %s, %%%s, %%%s", in.Args[0], in.Blocks[0].Name, in.Blocks[1].Name)
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s", in.Callee.Name)
+		for _, a := range in.Args {
+			fmt.Fprintf(&sb, " %s", a)
+		}
+	default:
+		for i, a := range in.Args {
+			if i == 0 {
+				sb.WriteString(" ")
+			} else {
+				sb.WriteString(", ")
+			}
+			sb.WriteString(a.String())
+		}
+	}
+	return sb.String()
+}
+
+// Print renders the function in the textual .nir format understood by Parse.
+func Print(f *Function) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func @%s(", f.Name)
+	for i, t := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		sb.WriteString(t.String())
+	}
+	sb.WriteString(") {\n")
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:\n", b.Name)
+		for _, in := range b.Instrs {
+			fmt.Fprintf(&sb, "  %s\n", in)
+		}
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// PrintModule renders every function in the module.
+func PrintModule(m *Module) string {
+	var sb strings.Builder
+	for i, f := range m.Funcs {
+		if i > 0 {
+			sb.WriteString("\n")
+		}
+		sb.WriteString(Print(f))
+	}
+	return sb.String()
+}

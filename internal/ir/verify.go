@@ -1,0 +1,317 @@
+package ir
+
+import "fmt"
+
+// Verify checks the structural well-formedness of a function:
+//
+//   - there is at least one block and the entry block has no predecessors
+//     that would make it a loop header target of itself via fallthrough
+//     (entry may still be a loop target via explicit branches);
+//   - every block ends with exactly one terminator and contains no interior
+//     terminators;
+//   - phi instructions appear only as a prefix of their block and have one
+//     incoming value per predecessor, matching Preds exactly;
+//   - every register is defined exactly once (SSA), operand registers are in
+//     range, and operand/destination types are consistent with opcodes;
+//   - branch targets belong to the function.
+//
+// Verify requires Finish to have run (it relies on Preds and blockByName).
+// Dominance (every use dominated by its def) is checked separately by
+// analysis.VerifySSA because it needs a dominator tree.
+func Verify(f *Function) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+	}
+	if f.blockByName == nil {
+		return fmt.Errorf("ir: function %s not finished (call Finish)", f.Name)
+	}
+	inFunc := make(map[*Block]bool, len(f.Blocks))
+	names := make(map[string]bool, len(f.Blocks))
+	for _, b := range f.Blocks {
+		if names[b.Name] {
+			return fmt.Errorf("ir: %s: duplicate block name %q", f.Name, b.Name)
+		}
+		names[b.Name] = true
+		inFunc[b] = true
+	}
+
+	defined := make([]bool, len(f.RegType))
+	for i := 0; i < f.NumParams(); i++ {
+		defined[f.Param(i)] = true
+	}
+	checkReg := func(b *Block, r Reg) error {
+		if r <= NoReg || int(r) >= len(f.RegType) {
+			return fmt.Errorf("ir: %s.%s: operand register %d out of range", f.Name, b.Name, r)
+		}
+		return nil
+	}
+
+	for _, b := range f.Blocks {
+		if len(b.Instrs) == 0 {
+			return fmt.Errorf("ir: %s.%s: empty block", f.Name, b.Name)
+		}
+		sawNonPhi := false
+		for i, in := range b.Instrs {
+			isLast := i == len(b.Instrs)-1
+			if in.Op.IsTerminator() != isLast {
+				if isLast {
+					return fmt.Errorf("ir: %s.%s: block does not end in a terminator", f.Name, b.Name)
+				}
+				return fmt.Errorf("ir: %s.%s: interior terminator %s", f.Name, b.Name, in.Op)
+			}
+			if in.Op == OpPhi {
+				if sawNonPhi {
+					return fmt.Errorf("ir: %s.%s: phi after non-phi", f.Name, b.Name)
+				}
+			} else {
+				sawNonPhi = true
+			}
+			for _, a := range in.Args {
+				if err := checkReg(b, a); err != nil {
+					return err
+				}
+			}
+			for _, t := range in.Blocks {
+				if !inFunc[t] {
+					return fmt.Errorf("ir: %s.%s: %s targets block %q outside function", f.Name, b.Name, in.Op, t.Name)
+				}
+			}
+			if err := verifyShape(f, b, in); err != nil {
+				return err
+			}
+			if in.Op.HasDest() {
+				if in.Dst == NoReg {
+					return fmt.Errorf("ir: %s.%s: %s missing destination", f.Name, b.Name, in.Op)
+				}
+				if int(in.Dst) >= len(f.RegType) {
+					return fmt.Errorf("ir: %s.%s: destination %s out of range", f.Name, b.Name, in.Dst)
+				}
+				if defined[in.Dst] {
+					return fmt.Errorf("ir: %s.%s: register %s defined more than once", f.Name, b.Name, in.Dst)
+				}
+				defined[in.Dst] = true
+				if want := in.Op.ResultType(in.Type); f.RegType[in.Dst] != want {
+					return fmt.Errorf("ir: %s.%s: %s destination %s has type %s, want %s",
+						f.Name, b.Name, in.Op, in.Dst, f.RegType[in.Dst], want)
+				}
+			} else if in.Dst != NoReg {
+				return fmt.Errorf("ir: %s.%s: %s must not have a destination", f.Name, b.Name, in.Op)
+			}
+		}
+		// Phi incoming edges must match predecessors exactly.
+		for _, phi := range b.Phis() {
+			if len(phi.Args) != len(phi.Blocks) {
+				return fmt.Errorf("ir: %s.%s: phi %s has %d values for %d blocks",
+					f.Name, b.Name, phi.Dst, len(phi.Args), len(phi.Blocks))
+			}
+			if len(phi.Args) != len(b.Preds) {
+				return fmt.Errorf("ir: %s.%s: phi %s has %d incoming edges, block has %d predecessors",
+					f.Name, b.Name, phi.Dst, len(phi.Args), len(b.Preds))
+			}
+			seen := make(map[*Block]bool, len(phi.Blocks))
+			for _, from := range phi.Blocks {
+				if seen[from] {
+					return fmt.Errorf("ir: %s.%s: phi %s has duplicate incoming block %s",
+						f.Name, b.Name, phi.Dst, from.Name)
+				}
+				seen[from] = true
+				found := false
+				for _, p := range b.Preds {
+					if p == from {
+						found = true
+						break
+					}
+				}
+				if !found {
+					return fmt.Errorf("ir: %s.%s: phi %s names non-predecessor %s",
+						f.Name, b.Name, phi.Dst, from.Name)
+				}
+			}
+		}
+	}
+
+	// All returning blocks must agree on arity and type.
+	retArity := -1
+	var retType Type
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != OpRet {
+			continue
+		}
+		if retArity == -1 {
+			retArity = len(t.Args)
+			retType = t.Type
+		} else if retArity != len(t.Args) || (retArity == 1 && retType != t.Type) {
+			return fmt.Errorf("ir: %s: inconsistent return types across blocks", f.Name)
+		}
+	}
+
+	// Every used register must be defined somewhere (full dominance checking
+	// lives in analysis.VerifySSA).
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			for _, a := range in.Args {
+				if !defined[a] {
+					return fmt.Errorf("ir: %s.%s: register %s used but never defined", f.Name, b.Name, a)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// verifyShape checks per-opcode operand counts and types.
+func verifyShape(f *Function, b *Block, in *Instr) error {
+	bad := func(format string, args ...any) error {
+		prefix := fmt.Sprintf("ir: %s.%s: %s: ", f.Name, b.Name, in.Op)
+		return fmt.Errorf(prefix+format, args...)
+	}
+	wantArgs := func(n int) error {
+		if len(in.Args) != n {
+			return bad("want %d operands, have %d", n, len(in.Args))
+		}
+		return nil
+	}
+	wantArgType := func(i int, t Type) error {
+		if f.RegType[in.Args[i]] != t {
+			return bad("operand %d is %s, want %s", i, f.RegType[in.Args[i]], t)
+		}
+		return nil
+	}
+	wantBlocks := func(n int) error {
+		if len(in.Blocks) != n {
+			return bad("want %d block targets, have %d", n, len(in.Blocks))
+		}
+		return nil
+	}
+
+	switch in.Op {
+	case OpAdd, OpSub, OpMul, OpDiv, OpRem, OpAnd, OpOr, OpXor, OpShl, OpShr,
+		OpCmpEQ, OpCmpNE, OpCmpLT, OpCmpLE, OpCmpGT, OpCmpGE:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		for i := range in.Args {
+			if err := wantArgType(i, I64); err != nil {
+				return err
+			}
+		}
+	case OpFAdd, OpFSub, OpFMul, OpFDiv,
+		OpFCmpEQ, OpFCmpNE, OpFCmpLT, OpFCmpLE, OpFCmpGT, OpFCmpGE:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		for i := range in.Args {
+			if err := wantArgType(i, F64); err != nil {
+				return err
+			}
+		}
+	case OpSqrt, OpExp, OpLog, OpFPToSI:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if err := wantArgType(0, F64); err != nil {
+			return err
+		}
+	case OpSIToFP:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if err := wantArgType(0, I64); err != nil {
+			return err
+		}
+	case OpConst:
+		if err := wantArgs(0); err != nil {
+			return err
+		}
+	case OpCopy:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if err := wantArgType(0, in.Type); err != nil {
+			return err
+		}
+	case OpSelect:
+		if err := wantArgs(3); err != nil {
+			return err
+		}
+		if err := wantArgType(0, I64); err != nil {
+			return err
+		}
+		if err := wantArgType(1, in.Type); err != nil {
+			return err
+		}
+		if err := wantArgType(2, in.Type); err != nil {
+			return err
+		}
+	case OpPhi:
+		for i := range in.Args {
+			if err := wantArgType(i, in.Type); err != nil {
+				return err
+			}
+		}
+	case OpLoad:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if err := wantArgType(0, I64); err != nil {
+			return err
+		}
+	case OpCall:
+		if in.Callee == nil {
+			return bad("unresolved callee")
+		}
+		if len(in.Args) != in.Callee.NumParams() {
+			return bad("callee %s wants %d args, have %d", in.Callee.Name, in.Callee.NumParams(), len(in.Args))
+		}
+		for i, pt := range in.Callee.Params {
+			if err := wantArgType(i, pt); err != nil {
+				return err
+			}
+		}
+		rt, hasRet := in.Callee.ReturnType()
+		if !hasRet {
+			return bad("callee %s returns no value", in.Callee.Name)
+		}
+		if rt != in.Type {
+			return bad("callee %s returns %s, call declared %s", in.Callee.Name, rt, in.Type)
+		}
+	case OpStore:
+		if err := wantArgs(2); err != nil {
+			return err
+		}
+		if err := wantArgType(0, I64); err != nil {
+			return err
+		}
+		if err := wantArgType(1, in.Type); err != nil {
+			return err
+		}
+	case OpBr:
+		if err := wantArgs(0); err != nil {
+			return err
+		}
+		if err := wantBlocks(1); err != nil {
+			return err
+		}
+	case OpCondBr:
+		if err := wantArgs(1); err != nil {
+			return err
+		}
+		if err := wantArgType(0, I64); err != nil {
+			return err
+		}
+		if err := wantBlocks(2); err != nil {
+			return err
+		}
+	case OpRet:
+		if len(in.Args) > 1 {
+			return bad("want at most 1 operand, have %d", len(in.Args))
+		}
+		if err := wantBlocks(0); err != nil {
+			return err
+		}
+	default:
+		return bad("unknown opcode")
+	}
+	return nil
+}

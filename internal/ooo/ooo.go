@@ -1,0 +1,257 @@
+// Package ooo is the host-core timing model: a streaming, dependence-based
+// out-of-order scheduler with the Table V parameters (4-wide issue, 96-entry
+// ROB, 6 ALUs, 2 FPUs, perfect branch prediction). It consumes the dynamic
+// instruction stream from interpreter hooks and reports the cycle count the
+// modeled core would need — the same first-order model the paper's
+// macsim-based simulator provides.
+package ooo
+
+import (
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/mem"
+)
+
+// Config holds the core parameters.
+type Config struct {
+	Width int // fetch/issue width per cycle
+	ROB   int // reorder-buffer entries
+	ALUs  int // integer units
+	FPUs  int // floating-point units
+
+	// RealBranchPredictor disables the paper's perfect-branch-prediction
+	// assumption (Table V) and models a gshare-style predictor with the
+	// given misprediction penalty. Kept for the ablation benchmarks; the
+	// default evaluation follows the paper and leaves this off.
+	RealBranchPredictor bool
+	BPBits              uint  // history bits indexing the predictor table
+	MispredictPenalty   int64 // pipeline refill cycles per misprediction
+}
+
+// DefaultConfig returns the Table V host core (perfect branch prediction).
+func DefaultConfig() Config {
+	return Config{Width: 4, ROB: 96, ALUs: 6, FPUs: 2, BPBits: 12, MispredictPenalty: 12}
+}
+
+// Latency returns the execution latency of an opcode on the host core,
+// excluding memory (loads take their latency from the cache model).
+func Latency(op ir.Op) int64 {
+	switch op {
+	case ir.OpMul:
+		return 3
+	case ir.OpDiv, ir.OpRem:
+		return 12
+	case ir.OpFAdd, ir.OpFSub:
+		return 4
+	case ir.OpFMul:
+		return 5
+	case ir.OpFDiv, ir.OpSqrt:
+		return 12
+	case ir.OpExp, ir.OpLog:
+		return 20
+	case ir.OpSIToFP, ir.OpFPToSI:
+		return 4
+	}
+	return 1
+}
+
+// OpMix counts executed instructions by class, for the energy model.
+type OpMix struct {
+	Int   int64 // integer ALU ops (compares, moves, branches included)
+	FP    int64 // floating-point ops
+	Mem   int64 // loads and stores
+	Total int64
+}
+
+// Model is the streaming timing model. Feed it the dynamic instruction
+// stream (via Hooks or direct Feed calls) and read Cycles at the end.
+type Model struct {
+	cfg   Config
+	cache *mem.Cache
+
+	regReady []int64 // cycle each register's value becomes available
+	aluFree  []int64 // next free cycle per ALU
+	fpuFree  []int64 // next free cycle per FPU
+	rob      []int64 // ring buffer of finish times of in-flight instrs
+	robHead  int
+
+	count    int64 // instructions fed
+	lastDone int64 // max finish time
+	pendAddr int64 // address captured by the Mem hook for the next instr
+
+	// Branch predictor state (RealBranchPredictor only).
+	bpTable    []int8
+	bpHistory  uint64
+	stallUntil int64 // fetch stalls until this cycle after a misprediction
+	lastBranch int64 // finish time of the most recent conditional branch
+
+	Mix OpMix
+
+	// Mispredicts counts wrong predictions when the real predictor is on.
+	Mispredicts int64
+	Branches    int64
+}
+
+// New creates a model over a register file of the given size, using the
+// cache for load latencies. A nil cache gets the default hierarchy.
+func New(cfg Config, numRegs int, cache *mem.Cache) *Model {
+	if cfg.Width <= 0 {
+		cfg = DefaultConfig()
+	}
+	if cache == nil {
+		cache = mem.New(mem.Config{})
+	}
+	m := &Model{
+		cfg:      cfg,
+		cache:    cache,
+		regReady: make([]int64, numRegs+1),
+		aluFree:  make([]int64, cfg.ALUs),
+		fpuFree:  make([]int64, cfg.FPUs),
+		rob:      make([]int64, cfg.ROB),
+	}
+	if cfg.RealBranchPredictor {
+		bits := cfg.BPBits
+		if bits == 0 || bits > 20 {
+			bits = 12
+		}
+		m.bpTable = make([]int8, 1<<bits)
+		for i := range m.bpTable {
+			m.bpTable[i] = 2
+		}
+	}
+	return m
+}
+
+// Cache returns the cache model in use.
+func (m *Model) Cache() *mem.Cache { return m.cache }
+
+// Hooks returns interpreter hooks that stream execution into the model.
+func (m *Model) Hooks() *interp.Hooks {
+	return &interp.Hooks{
+		Mem:   func(_ *ir.Instr, addr int64) { m.pendAddr = addr },
+		Instr: func(in *ir.Instr) { m.Feed(in, m.pendAddr) },
+		Edge: func(from, to *ir.Block) {
+			t := from.Term()
+			if t == nil || t.Op != ir.OpCondBr {
+				return
+			}
+			m.NoteBranch(t.Blocks[0] == to)
+		},
+	}
+}
+
+// NoteBranch informs the (optional) branch predictor of a conditional
+// branch outcome; call it right after feeding the branch instruction.
+func (m *Model) NoteBranch(taken bool) {
+	if m.bpTable == nil {
+		return
+	}
+	m.Branches++
+	idx := m.bpHistory & uint64(len(m.bpTable)-1)
+	predictTaken := m.bpTable[idx] >= 2
+	if predictTaken != taken {
+		m.Mispredicts++
+		// Fetch refills after the branch resolves.
+		if t := m.lastBranch + m.cfg.MispredictPenalty; t > m.stallUntil {
+			m.stallUntil = t
+		}
+	}
+	if taken {
+		if m.bpTable[idx] < 3 {
+			m.bpTable[idx]++
+		}
+	} else if m.bpTable[idx] > 0 {
+		m.bpTable[idx]--
+	}
+	m.bpHistory = m.bpHistory<<1 | b2u(taken)
+}
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Feed schedules one dynamic instruction. addr is the effective word
+// address for memory operations (ignored otherwise).
+func (m *Model) Feed(in *ir.Instr, addr int64) {
+	fetch := m.count / int64(m.cfg.Width)
+	m.count++
+	m.Mix.Total++
+
+	// ROB constraint: this instruction needs the slot of the instruction
+	// ROB-entries older, which must have completed.
+	slot := m.robHead
+	windowReady := m.rob[slot]
+
+	ready := fetch
+	if windowReady > ready {
+		ready = windowReady
+	}
+	if m.stallUntil > ready {
+		ready = m.stallUntil
+	}
+	in.Uses(func(r ir.Reg) {
+		if int(r) < len(m.regReady) && m.regReady[r] > ready {
+			ready = m.regReady[r]
+		}
+	})
+
+	var lat int64
+	var pool []int64
+	switch {
+	case in.Op.IsMemory():
+		m.Mix.Mem++
+		lat = m.cache.Access(addr)
+		pool = m.aluFree // address generation occupies an ALU slot
+	case in.Op.IsFloat():
+		m.Mix.FP++
+		lat = Latency(in.Op)
+		pool = m.fpuFree
+	default:
+		m.Mix.Int++
+		lat = Latency(in.Op)
+		pool = m.aluFree
+	}
+
+	// Pick the earliest-free unit (units are pipelined: busy for 1 cycle).
+	best := 0
+	for i := 1; i < len(pool); i++ {
+		if pool[i] < pool[best] {
+			best = i
+		}
+	}
+	issue := ready
+	if pool[best] > issue {
+		issue = pool[best]
+	}
+	pool[best] = issue + 1
+	finish := issue + lat
+
+	if in.Op.HasDest() && int(in.Dst) < len(m.regReady) {
+		m.regReady[in.Dst] = finish
+	}
+	m.rob[slot] = finish
+	m.robHead = (m.robHead + 1) % len(m.rob)
+	if finish > m.lastDone {
+		m.lastDone = finish
+	}
+	if in.Op == ir.OpCondBr {
+		m.lastBranch = finish
+	}
+}
+
+// Cycles returns the cycle count of everything fed so far.
+func (m *Model) Cycles() int64 { return m.lastDone }
+
+// Instructions returns the number of instructions fed.
+func (m *Model) Instructions() int64 { return m.count }
+
+// IPC returns retired instructions per cycle.
+func (m *Model) IPC() float64 {
+	if m.lastDone == 0 {
+		return 0
+	}
+	return float64(m.count) / float64(m.lastDone)
+}

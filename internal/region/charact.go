@@ -1,0 +1,96 @@
+package region
+
+import (
+	"needle/internal/analysis"
+	"needle/internal/ir"
+)
+
+// ControlFlowStats is the static characterization of one (hot) function
+// reported in Table I.
+type ControlFlowStats struct {
+	// AvgBranchMem is the average number of memory operations
+	// control-dependent on a conditional branch (the Branch=>Mem rows).
+	AvgBranchMem float64
+	// AvgMemBranch is the average number of memory operations feeding a
+	// conditional branch's condition through data dependences (Mem=>Branch).
+	AvgMemBranch float64
+	// PredicationBits is the number of conditional branches that full
+	// if-conversion of the function would predicate (Max. predication).
+	PredicationBits int
+	// BackwardBranches is the number of loop back edges (Loops row).
+	BackwardBranches int
+	// Branches is the total number of conditional branches.
+	Branches int
+}
+
+// Characterize computes the Table I statistics for a function.
+func Characterize(f *ir.Function) ControlFlowStats {
+	dom := analysis.Dominators(f)
+	stats := ControlFlowStats{
+		BackwardBranches: len(analysis.BackEdges(f, dom)),
+	}
+
+	// Map from register to defining instruction for backward slicing.
+	defs := make(map[ir.Reg]*ir.Instr)
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDest() {
+				defs[in.Dst] = in
+			}
+		}
+	}
+
+	// Exact control dependence via the post-dominator tree
+	// (Ferrante/Ottenstein/Warren).
+	pdom := analysis.PostDominators(f)
+	ctrlDeps := analysis.ControlDependents(f, pdom)
+
+	var sumBranchMem, sumMemBranch int
+	for _, b := range f.Blocks {
+		t := b.Term()
+		if t == nil || t.Op != ir.OpCondBr {
+			continue
+		}
+		stats.Branches++
+		stats.PredicationBits++ // one predicate per if-converted branch
+		sumMemBranch += loadsInSlice(t.Args[0], defs)
+		for _, dep := range ctrlDeps[b] {
+			for _, in := range dep.Instrs {
+				if in.Op.IsMemory() {
+					sumBranchMem++
+				}
+			}
+		}
+	}
+	if stats.Branches > 0 {
+		stats.AvgBranchMem = float64(sumBranchMem) / float64(stats.Branches)
+		stats.AvgMemBranch = float64(sumMemBranch) / float64(stats.Branches)
+	}
+	return stats
+}
+
+// loadsInSlice counts load instructions in the backward data-dependence
+// slice of reg (phi operands included, cycles broken with a visited set).
+func loadsInSlice(reg ir.Reg, defs map[ir.Reg]*ir.Instr) int {
+	visited := make(map[ir.Reg]bool)
+	var walk func(r ir.Reg) int
+	walk = func(r ir.Reg) int {
+		if visited[r] {
+			return 0
+		}
+		visited[r] = true
+		in, ok := defs[r]
+		if !ok {
+			return 0 // parameter
+		}
+		n := 0
+		if in.Op == ir.OpLoad {
+			n++
+		}
+		for _, a := range in.Args {
+			n += walk(a)
+		}
+		return n
+	}
+	return walk(reg)
+}

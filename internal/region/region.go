@@ -1,0 +1,222 @@
+// Package region implements Needle's offload-region formation: BL-Path
+// regions (Section III), Braids (Section IV-B), and the Superblock and
+// Hyperblock baselines it is evaluated against (Section II-B). It also
+// provides the static control-flow characterization behind Table I.
+package region
+
+import (
+	"fmt"
+	"sort"
+
+	"needle/internal/analysis"
+	"needle/internal/ir"
+	"needle/internal/profile"
+)
+
+// Kind distinguishes the region formation strategies.
+type Kind uint8
+
+const (
+	KindPath Kind = iota
+	KindBraid
+	KindSuperblock
+	KindHyperblock
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindPath:
+		return "bl-path"
+	case KindBraid:
+		return "braid"
+	case KindSuperblock:
+		return "superblock"
+	case KindHyperblock:
+		return "hyperblock"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Region is a single-entry single-exit set of basic blocks selected for
+// offload. Blocks is ordered: path order for BL-Paths and Superblocks,
+// topological order for Braids and Hyperblocks.
+type Region struct {
+	F      *ir.Function
+	Kind   Kind
+	Blocks []*ir.Block
+	Set    map[*ir.Block]bool
+	Entry  *ir.Block
+	Exit   *ir.Block
+
+	// Paths holds the constituent profiled paths (BL-Path and Braid kinds).
+	Paths []*profile.Path
+}
+
+func newRegion(f *ir.Function, kind Kind, blocks []*ir.Block) *Region {
+	r := &Region{F: f, Kind: kind, Blocks: blocks, Set: make(map[*ir.Block]bool, len(blocks))}
+	for _, b := range blocks {
+		r.Set[b] = true
+	}
+	if len(blocks) > 0 {
+		r.Entry = blocks[0]
+		r.Exit = blocks[len(blocks)-1]
+	}
+	return r
+}
+
+// Contains reports whether the region includes b.
+func (r *Region) Contains(b *ir.Block) bool { return r.Set[b] }
+
+// NumOps returns the number of non-terminator instructions in the region
+// (the "#Ins." columns of Tables II and IV).
+func (r *Region) NumOps() int {
+	n := 0
+	for _, b := range r.Blocks {
+		n += b.NumOps()
+	}
+	return n
+}
+
+// NumBranches returns the number of conditional branches in the region
+// (the ♦ columns).
+func (r *Region) NumBranches() int {
+	n := 0
+	for _, b := range r.Blocks {
+		if t := b.Term(); t != nil && t.Op == ir.OpCondBr {
+			n++
+		}
+	}
+	return n
+}
+
+// NumMemOps returns the number of loads and stores in the region.
+func (r *Region) NumMemOps() int {
+	n := 0
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.IsMemory() {
+				n++
+			}
+		}
+	}
+	return n
+}
+
+// PhiCancel returns the number of phi instructions in non-entry region
+// blocks. When a single flow of control is extracted (a BL-Path frame),
+// every such phi resolves to a plain copy and disappears from the dataflow
+// graph — the C6 "φ ops cancel" column of Table II and the hardware-
+// selection-operator saving discussed in Section III-B.
+func (r *Region) PhiCancel() int {
+	n := 0
+	for _, b := range r.Blocks {
+		if b == r.Entry {
+			continue
+		}
+		n += len(b.Phis())
+	}
+	return n
+}
+
+// LiveValues computes the live-in and live-out registers of the region
+// (the ↓,↑ columns): live-ins are registers read inside the region but
+// defined outside it (parameters included); live-outs are registers defined
+// inside the region that are consumed after it.
+func (r *Region) LiveValues() (liveIn, liveOut []ir.Reg) {
+	defsIn := make(map[ir.Reg]bool)
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDest() {
+				defsIn[in.Dst] = true
+			}
+		}
+	}
+	inSet := make(map[ir.Reg]bool)
+	for _, b := range r.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpPhi && b == r.Entry {
+				// Entry phis draw their value from outside the region at
+				// invocation time: every incoming value is a live-in, even
+				// when its defining block is inside the region (the region
+				// is acyclic, so such a value comes from the previous
+				// dynamic instance).
+				for _, a := range in.Args {
+					inSet[a] = true
+				}
+				continue
+			}
+			in.Uses(func(reg ir.Reg) {
+				if !defsIn[reg] {
+					inSet[reg] = true
+				}
+			})
+		}
+	}
+
+	lv := analysis.ComputeLiveness(r.F)
+	outSet := make(map[ir.Reg]bool)
+	// A region-defined value is live-out if it is live on any edge leaving
+	// the region (including the exit block's successors).
+	for _, b := range r.Blocks {
+		for _, s := range b.Succs() {
+			if r.Set[s] && b != r.Exit {
+				continue
+			}
+			for reg := range lv.In[s.Index] {
+				if defsIn[reg] {
+					outSet[reg] = true
+				}
+			}
+			// Phi uses in the successor attributed to this edge.
+			for _, phi := range s.Phis() {
+				for i, from := range phi.Blocks {
+					if from == b && defsIn[phi.Args[i]] {
+						outSet[phi.Args[i]] = true
+					}
+				}
+			}
+		}
+	}
+	// Exit via return: the returned value is live-out.
+	if t := r.Exit.Term(); t != nil && t.Op == ir.OpRet && len(t.Args) == 1 && defsIn[t.Args[0]] {
+		outSet[t.Args[0]] = true
+	}
+
+	liveIn = sortedRegs(inSet)
+	liveOut = sortedRegs(outSet)
+	return liveIn, liveOut
+}
+
+func sortedRegs(set map[ir.Reg]bool) []ir.Reg {
+	out := make([]ir.Reg, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// FromBlock builds a single-basic-block region: the offload granularity of
+// the compound-function-unit designs in Figure 2's first column (BERET-like
+// accelerators that terminate fusion at branches).
+func FromBlock(f *ir.Function, b *ir.Block) *Region {
+	return newRegion(f, KindPath, []*ir.Block{b})
+}
+
+// FromPath builds a single-flow region from a profiled BL-Path.
+func FromPath(f *ir.Function, p *profile.Path) *Region {
+	r := newRegion(f, KindPath, p.Blocks)
+	r.Paths = []*profile.Path{p}
+	return r
+}
+
+// Coverage returns the fraction of the function's dynamic instructions the
+// region's constituent paths cover (0 for superblocks/hyperblocks, which
+// carry no path attribution).
+func (r *Region) Coverage(fp *profile.FunctionProfile) float64 {
+	var c float64
+	for _, p := range r.Paths {
+		c += p.Coverage(fp)
+	}
+	return c
+}

@@ -1,0 +1,98 @@
+package sim
+
+import (
+	"fmt"
+
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/spec"
+)
+
+// FunctionalResult summarizes a functional offload run.
+type FunctionalResult struct {
+	Ret         uint64
+	Invocations int64
+	Successes   int64
+	Rollbacks   int64
+	FrameOps    int64 // dynamic instructions executed inside frames
+	HostBlocks  int64 // blocks executed on the host path
+}
+
+// FunctionalOffload executes the program *functionally* with the offload
+// target in the loop: whenever control reaches the target region's entry
+// and the predictor says offload, the region runs through the speculative
+// frame executor (undo log and all); a guard failure rolls memory back and
+// the host re-executes the region block by block. The final return value
+// and memory must be bit-identical to a pure host run — the correctness
+// contract of the paper's software speculation, checked end to end by the
+// test suite.
+func FunctionalOffload(f *ir.Function, args []uint64, mem []uint64, tgt *Target, pred spec.Predictor, maxBlocks int64) (FunctionalResult, error) {
+	var res FunctionalResult
+	if len(args) != f.NumParams() {
+		return res, fmt.Errorf("sim: %s wants %d args, got %d", f.Name, f.NumParams(), len(args))
+	}
+	if maxBlocks <= 0 {
+		maxBlocks = 1 << 28
+	}
+	regs := make([]uint64, len(f.RegType))
+	for i, a := range args {
+		regs[f.Param(i)] = a
+	}
+	ht := &spec.HistoryTracker{}
+	hooks := ht.Hooks()
+
+	cur := f.Entry()
+	var prev *ir.Block
+	var steps int64
+	for {
+		steps++
+		if steps > maxBlocks {
+			return res, fmt.Errorf("sim: functional offload exceeded %d blocks", maxBlocks)
+		}
+		if cur == tgt.Region.Entry && pred.Predict(ht.H) {
+			res.Invocations++
+			hist := ht.H
+			// The frame receives a copy of the register file: no
+			// architectural state is shared with the host (Section V), so a
+			// failed frame leaks nothing — memory reverts via the undo log
+			// and registers were never the frame's to change.
+			fregs := append([]uint64(nil), regs...)
+			out, err := spec.ExecuteFrame(tgt.Frame, fregs, mem, prev)
+			if err != nil {
+				return res, err
+			}
+			res.FrameOps += int64(out.Ops)
+			pred.Update(hist, out.Success)
+			if out.Success {
+				res.Successes++
+				if out.Returned {
+					res.Ret = out.Ret
+					return res, nil
+				}
+				// Commit live values back to the host: everything the frame
+				// defined, plus the region entry phis it resolved.
+				for r := range tgt.Frame.Def {
+					regs[r] = fregs[r]
+				}
+				for _, phi := range tgt.Region.Entry.Phis() {
+					regs[phi.Dst] = fregs[phi.Dst]
+				}
+				prev, cur = out.Prev, out.Next
+				continue
+			}
+			// Memory was rolled back inside ExecuteFrame; the host
+			// re-executes the region (and whatever follows) block by block.
+			res.Rollbacks++
+		}
+		next, ret, returned, err := interp.StepBlock(f, cur, prev, regs, mem, hooks)
+		if err != nil {
+			return res, err
+		}
+		res.HostBlocks++
+		if returned {
+			res.Ret = ret
+			return res, nil
+		}
+		prev, cur = cur, next
+	}
+}

@@ -1,0 +1,290 @@
+package sim
+
+import (
+	"testing"
+
+	"needle/internal/interp"
+	"needle/internal/region"
+	"needle/internal/spec"
+	"needle/internal/workloads"
+)
+
+func capture(t testing.TB, name string, n int) *Trace {
+	t.Helper()
+	w := workloads.ByName(name)
+	if w == nil {
+		t.Fatalf("unknown workload %s", name)
+	}
+	f, args, memory := w.Instance(n)
+	tr, err := Capture(f, args, memory, DefaultConfig())
+	if err != nil {
+		t.Fatalf("Capture(%s): %v", name, err)
+	}
+	return tr
+}
+
+func TestCaptureAttributionSumsToBaseline(t *testing.T) {
+	tr := capture(t, "181.mcf", 800)
+	var sum int64
+	for _, occ := range tr.Occ {
+		sum += occ.Cycles
+	}
+	// Occurrence cycles partition the baseline (the last path completion
+	// coincides with the function return).
+	if sum != tr.BaselineCycles {
+		t.Fatalf("occurrence cycles sum to %d, baseline %d", sum, tr.BaselineCycles)
+	}
+	if tr.BaselineEnergyPJ <= 0 {
+		t.Fatal("no baseline energy")
+	}
+	if int64(len(tr.Occ)) != tr.Profile.HottestPath().Freq+sumOtherFreqs(tr) {
+		t.Fatal("occurrence count mismatch with profile")
+	}
+}
+
+func sumOtherFreqs(tr *Trace) int64 {
+	var n int64
+	for _, p := range tr.Profile.Paths[1:] {
+		n += p.Freq
+	}
+	return n
+}
+
+func TestOracleNeverFails(t *testing.T) {
+	tr := capture(t, "164.gzip", 1500)
+	oracle, history, err := EvaluateHottestPath(tr, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if oracle.Invocations != oracle.Successes {
+		t.Fatalf("oracle failed %d times", oracle.Invocations-oracle.Successes)
+	}
+	if oracle.Precision != 1.0 && oracle.Invocations > 0 {
+		t.Fatalf("oracle precision = %v", oracle.Precision)
+	}
+	// The oracle bound dominates the history predictor on cycles.
+	if history.OffloadCycles < oracle.OffloadCycles {
+		t.Fatalf("history (%d) beat the oracle (%d)", history.OffloadCycles, oracle.OffloadCycles)
+	}
+	if oracle.Opportunities == 0 {
+		t.Fatal("no opportunities seen")
+	}
+}
+
+func TestBraidCoverageAtLeastPathCoverage(t *testing.T) {
+	tr := capture(t, "456.hmmer", 1500)
+	cfg := DefaultConfig()
+	braid, br, err := EvaluateHottestBraid(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	oracle, _, err := EvaluateHottestPath(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if br.MergedPathCount() < 2 {
+		t.Skipf("braid merged only %d paths at this scale", br.MergedPathCount())
+	}
+	if braid.Coverage < oracle.Coverage {
+		t.Fatalf("braid coverage %v below path coverage %v", braid.Coverage, oracle.Coverage)
+	}
+	// Under always-invoke every opportunity is an invocation, and the braid
+	// accepts every in-region flow.
+	always, _, err := EvaluateBraidAlways(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if always.Invocations != always.Opportunities {
+		t.Fatal("always predictor must invoke on every opportunity")
+	}
+}
+
+func TestEvaluateAccountsFailures(t *testing.T) {
+	// bodytrack's noisy branches make single-path offload fail often under
+	// always-invoke; failures must cost more than the baseline occurrences.
+	tr := capture(t, "bodytrack", 1200)
+	cfg := DefaultConfig()
+	hot := tr.Profile.HottestPath()
+	tgt, err := NewPathTarget(tr.Profile, hot, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	always := Evaluate(tr, tgt, spec.Always{}, cfg)
+	if always.Invocations != always.Opportunities {
+		t.Fatal("always must invoke at every opportunity")
+	}
+	if always.Successes == always.Invocations {
+		t.Skip("no failures at this scale; nothing to check")
+	}
+	oracle := Evaluate(tr, tgt, &spec.Oracle{}, cfg)
+	if always.OffloadCycles <= oracle.OffloadCycles {
+		t.Fatal("failures must cost cycles versus the oracle")
+	}
+	if always.OffloadEnergyPJ <= oracle.OffloadEnergyPJ {
+		t.Fatal("failures must cost energy versus the oracle")
+	}
+}
+
+func TestHighCoverageWorkloadImproves(t *testing.T) {
+	// lbm: two paths, huge straight-line FP body — the paper's best case.
+	tr := capture(t, "470.lbm", 500)
+	cfg := DefaultConfig()
+	braid, _, err := EvaluateHottestBraid(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if braid.Improvement <= 0 {
+		t.Fatalf("lbm braid improvement = %v, want > 0", braid.Improvement)
+	}
+	if braid.EnergyReduction <= 0 {
+		t.Fatalf("lbm braid energy reduction = %v, want > 0", braid.EnergyReduction)
+	}
+	if braid.Coverage < 0.5 {
+		t.Fatalf("lbm braid coverage = %v, want > 0.5", braid.Coverage)
+	}
+}
+
+func TestResultInternalConsistency(t *testing.T) {
+	for _, name := range []string{"403.gcc", "dwt53", "450.soplex"} {
+		tr := capture(t, name, 1000)
+		cfg := DefaultConfig()
+		braid, _, err := EvaluateHottestBraid(tr, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if braid.Successes > braid.Invocations || braid.Invocations > braid.Opportunities {
+			t.Fatalf("%s: counts inconsistent: %+v", name, braid)
+		}
+		if braid.Coverage < 0 || braid.Coverage > 1 {
+			t.Fatalf("%s: coverage out of range: %v", name, braid.Coverage)
+		}
+		wantImp := float64(braid.BaselineCycles-braid.OffloadCycles) / float64(braid.BaselineCycles)
+		if diff := wantImp - braid.Improvement; diff > 1e-9 || diff < -1e-9 {
+			t.Fatalf("%s: improvement bookkeeping wrong", name)
+		}
+	}
+}
+
+// TestFunctionalOffloadMatchesPureExecution is the end-to-end correctness
+// contract of software speculation: interleaving host execution with
+// speculative frames (including failures and rollbacks) must produce
+// bit-identical results and memory to a pure host run.
+func TestFunctionalOffloadMatchesPureExecution(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		braid    bool
+	}{
+		{"181.mcf", false},
+		{"456.hmmer", true},
+		{"bodytrack", true}, // noisy: exercises failures+rollbacks
+		{"164.gzip", false}, // early-exit chains
+		{"470.lbm", true},   // store-heavy
+		{"freqmine", false}, // store-bearing divergent paths
+	} {
+		tc := tc
+		t.Run(tc.workload, func(t *testing.T) {
+			w := workloads.ByName(tc.workload)
+			f, args, mem1 := w.Instance(900)
+			pure, err := interp.Run(f, args, mem1, nil, 0)
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			// Fresh memory for profiling, then a third copy for the
+			// functional offload run.
+			_, args2, memProfile := w.Instance(900)
+			cfg := DefaultConfig()
+			tr, err := Capture(f, args2, memProfile, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			var tgt *Target
+			if tc.braid {
+				braids := region.BuildBraids(tr.Profile, 0)
+				tgt, err = NewBraidTarget(tr.Profile, braids[0], cfg)
+			} else {
+				tgt, err = NewPathTarget(tr.Profile, tr.Profile.HottestPath(), cfg)
+			}
+			if err != nil {
+				t.Fatal(err)
+			}
+
+			_, args3, mem3 := w.Instance(900)
+			res, err := FunctionalOffload(f, args3, mem3, tgt, spec.Always{}, 0)
+			if err != nil {
+				t.Fatalf("FunctionalOffload: %v", err)
+			}
+			if res.Ret != pure.Ret {
+				t.Fatalf("offloaded result %d != pure result %d", res.Ret, pure.Ret)
+			}
+			for i := range mem1 {
+				if mem1[i] != mem3[i] {
+					t.Fatalf("memory diverged at word %d", i)
+				}
+			}
+			if res.Invocations == 0 {
+				t.Fatal("the target was never invoked")
+			}
+			t.Logf("%s: %d invocations, %d successes, %d rollbacks, %d frame ops",
+				tc.workload, res.Invocations, res.Successes, res.Rollbacks, res.FrameOps)
+		})
+	}
+}
+
+func TestEvaluateHyperblockBaseline(t *testing.T) {
+	tr := capture(t, "186.crafty", 1500)
+	cfg := DefaultConfig()
+	hb, err := EvaluateHyperblock(tr, cfg, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Non-speculative predication cannot fail.
+	if hb.Successes != hb.Invocations {
+		t.Fatalf("hyperblock failed %d times; predication cannot fail", hb.Invocations-hb.Successes)
+	}
+	// On dispatch-heavy code the predicated baseline burns energy executing
+	// everything; Needle's selected braid must beat it on cycles.
+	braid, _, err := EvaluateHottestBraid(tr, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hb.Improvement > braid.Improvement && braid.Improvement > 0 {
+		t.Fatalf("hyperblock (%.2f) should not beat the braid (%.2f) on crafty",
+			hb.Improvement, braid.Improvement)
+	}
+}
+
+func TestSelectBraidRejectsEnergyLosers(t *testing.T) {
+	// Selection must never return a candidate that increases energy, even
+	// when it would win cycles.
+	for _, name := range []string{"186.crafty", "458.sjeng", "401.bzip2"} {
+		tr := capture(t, name, 1500)
+		cand, err := SelectBraid(tr, DefaultConfig(), 3)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if cand.Result.OffloadEnergyPJ > cand.Result.BaselineEnergyPJ+1e-6 {
+			t.Fatalf("%s: selected braid loses energy", name)
+		}
+		if cand.Result.OffloadCycles > cand.Result.BaselineCycles {
+			t.Fatalf("%s: selected braid loses cycles", name)
+		}
+	}
+}
+
+func TestSelectPathTriesLowerRanks(t *testing.T) {
+	tr := capture(t, "453.povray", 2000)
+	cfg := DefaultConfig()
+	// topK=1 must never beat topK=3 (the search is monotone in candidates).
+	h1, o1, err := SelectPath(tr, cfg, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h3, o3, err := SelectPath(tr, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h3.OffloadCycles > h1.OffloadCycles || o3.OffloadCycles > o1.OffloadCycles {
+		t.Fatal("widening the candidate search made the result worse")
+	}
+}

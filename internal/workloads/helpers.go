@@ -1,0 +1,261 @@
+package workloads
+
+import (
+	"fmt"
+
+	"needle/internal/ir"
+)
+
+// Loop scaffolds a counted loop with loop-carried values. Usage:
+//
+//	l := NewLoop(b, "main", n, init0, init1)
+//	... body emitted into l.Body using l.I and l.Carried(k) ...
+//	l.End(next0, next1)   // wires the latch; builder continues in l.Exit
+//
+// The body may branch internally; End is called with the builder positioned
+// at the single block that re-enters the loop. Early exits may branch
+// directly to l.Exit.
+type Loop struct {
+	b       *ir.Builder
+	Head    *ir.Block
+	Body    *ir.Block
+	Exit    *ir.Block
+	I       ir.Reg
+	carried []ir.Reg
+	inits   []ir.Reg
+	entry   *ir.Block
+	one     ir.Reg
+	n       ir.Reg
+}
+
+// NewLoop starts a loop running i = 0..n-1 with the given loop-carried
+// initial values. The builder must be positioned in the preheader; on
+// return it is positioned at the top of the loop body.
+func NewLoop(b *ir.Builder, name string, n ir.Reg, inits ...ir.Reg) *Loop {
+	l := &Loop{b: b, inits: inits, n: n, entry: b.Block()}
+	zero := b.ConstI(0)
+	l.one = b.ConstI(1)
+	l.Head = b.NewBlock(name + ".head")
+	l.Body = b.NewBlock(name + ".body")
+	l.Exit = b.NewBlock(name + ".exit")
+	b.Br(l.Head)
+
+	b.SetBlock(l.Head)
+	l.I = b.Phi(ir.I64)
+	b.AddIncoming(l.I, l.entry, zero)
+	for _, init := range inits {
+		p := b.Phi(b.Func().RegType[init])
+		b.AddIncoming(p, l.entry, init)
+		l.carried = append(l.carried, p)
+	}
+	cond := b.CmpLT(l.I, n)
+	b.CondBr(cond, l.Body, l.Exit)
+	b.SetBlock(l.Body)
+	return l
+}
+
+// Carried returns the phi for the k-th loop-carried value.
+func (l *Loop) Carried(k int) ir.Reg { return l.carried[k] }
+
+// Latch closes the builder's current block as a loop latch, passing the
+// next iteration's carried values. A loop may have several latches
+// (C-style `continue` paths); Ball-Larus paths through different latches
+// end at different blocks and therefore form different braid groups.
+func (l *Loop) Latch(next ...ir.Reg) {
+	if len(next) != len(l.carried) {
+		panic(fmt.Sprintf("workloads: loop carries %d values, Latch got %d", len(l.carried), len(next)))
+	}
+	latch := l.b.Block()
+	i2 := l.b.Add(l.I, l.one)
+	l.b.Br(l.Head)
+	l.b.AddIncoming(l.I, latch, i2)
+	for k, nx := range next {
+		l.b.AddIncoming(l.carried[k], latch, nx)
+	}
+}
+
+// Done positions the builder at the loop exit after all latches are wired.
+func (l *Loop) Done() { l.b.SetBlock(l.Exit) }
+
+// End closes the loop from the builder's current block, passing the next
+// iteration's carried values. The builder continues in l.Exit.
+func (l *Loop) End(next ...ir.Reg) {
+	l.Latch(next...)
+	l.Done()
+}
+
+// ContinueIf emits a top-of-iteration split: when cond holds, the iteration
+// runs the short light() body and re-enters the loop through a dedicated
+// latch; otherwise control falls through into the heavy body that follows.
+// light returns the carried next values for the light latch. The builder
+// continues in the heavy block.
+func (l *Loop) ContinueIf(name string, cond ir.Reg, light func() []ir.Reg) {
+	b := l.b
+	lightB := b.NewBlock(name + ".light")
+	heavyB := b.NewBlock(name + ".heavy")
+	b.CondBr(cond, lightB, heavyB)
+	b.SetBlock(lightB)
+	l.Latch(light()...)
+	b.SetBlock(heavyB)
+}
+
+// LatchSwitch routes the iteration's re-entry through one of several tiny
+// latch variants selected by sel in [0, n), splitting the loop's paths into
+// n braid groups (the shape of interpreter-style code whose iterations end
+// in many different places). Each variant adds a small distinct operation
+// to the first carried value (which must be i64).
+func (l *Loop) LatchSwitch(name string, sel ir.Reg, n int, next ...ir.Reg) {
+	b := l.b
+	cases := make([]func() ir.Reg, n)
+	for c := 0; c < n; c++ {
+		cval := int64(c)
+		cases[c] = func() ir.Reg { return b.Add(next[0], b.ConstI(cval)) }
+	}
+	merged := switchTree(b, name, sel, cases)
+	// The switch tree reconverges; to split braid groups we need distinct
+	// latch blocks, so dispatch again into n latch stubs.
+	latchSel := b.And(sel, b.ConstI(int64(n-1)))
+	remaining := next[1:]
+	var emit func(lo, hi int, tag string)
+	emit = func(lo, hi int, tag string) {
+		if hi-lo == 1 {
+			vals := append([]ir.Reg{b.Add(merged, b.ConstI(int64(lo)))}, remaining...)
+			l.Latch(vals...)
+			return
+		}
+		mid := (lo + hi) / 2
+		lb := b.NewBlock(fmt.Sprintf("%s.%s.a", name, tag))
+		rb := b.NewBlock(fmt.Sprintf("%s.%s.b", name, tag))
+		c := b.CmpLT(latchSel, b.ConstI(int64(mid)))
+		b.CondBr(c, lb, rb)
+		b.SetBlock(lb)
+		emit(lo, mid, tag+"a")
+		b.SetBlock(rb)
+		emit(mid, hi, tag+"b")
+	}
+	emit(0, n, "d")
+}
+
+// diamond emits an if/else producing a merged value:
+//
+//	merged := diamond(b, name, cond, func() taken, func() notTaken)
+//
+// Each side function emits its block's body and returns the value flowing to
+// the merge. Sides must not terminate their blocks.
+func diamond(b *ir.Builder, name string, cond ir.Reg, taken, notTaken func() ir.Reg) ir.Reg {
+	tb := b.NewBlock(name + ".t")
+	fb := b.NewBlock(name + ".f")
+	join := b.NewBlock(name + ".j")
+	b.CondBr(cond, tb, fb)
+
+	b.SetBlock(tb)
+	tv := taken()
+	tEnd := b.Block()
+	b.Br(join)
+
+	b.SetBlock(fb)
+	fv := notTaken()
+	fEnd := b.Block()
+	b.Br(join)
+
+	b.SetBlock(join)
+	p := b.Phi(b.Func().RegType[tv])
+	b.AddIncoming(p, tEnd, tv)
+	b.AddIncoming(p, fEnd, fv)
+	return p
+}
+
+// sideEffectIf emits an if-then (no else) whose taken side only performs
+// side effects (stores) and produces no merged value.
+func sideEffectIf(b *ir.Builder, name string, cond ir.Reg, taken func()) {
+	tb := b.NewBlock(name + ".t")
+	join := b.NewBlock(name + ".j")
+	b.CondBr(cond, tb, join)
+	b.SetBlock(tb)
+	taken()
+	b.Br(join)
+	b.SetBlock(join)
+}
+
+// lcgStep emits one step of a 64-bit linear congruential generator in
+// registers: x' = x*6364136223846793005 + 1442695040888963407. It produces
+// data-dependent branch conditions without touching memory (used by the
+// kernels whose namesakes have register-resident hot paths).
+func lcgStep(b *ir.Builder, x ir.Reg) ir.Reg {
+	a := b.ConstI(6364136223846793005)
+	c := b.ConstI(1442695040888963407)
+	return b.Add(b.Mul(x, a), c)
+}
+
+// bits extracts ((x >> shift) & mask) as an i64.
+func bits(b *ir.Builder, x ir.Reg, shift, mask int64) ir.Reg {
+	return b.And(b.Shr(x, b.ConstI(shift)), b.ConstI(mask))
+}
+
+// switchTree emits a balanced binary dispatch tree over sel in [0, len(cases))
+// and returns the merged i64 result. Each case function emits its leaf body
+// and returns a value; leaves reconverge at a single join block. This is the
+// interpreter/game-engine control-flow shape (crafty, sjeng, gcc): many
+// branches, path count linear in the number of leaves.
+func switchTree(b *ir.Builder, name string, sel ir.Reg, cases []func() ir.Reg) ir.Reg {
+	join := b.NewBlock(name + ".j")
+	type incoming struct {
+		from *ir.Block
+		val  ir.Reg
+	}
+	var incomings []incoming
+
+	var emit func(lo, hi int, tag string)
+	emit = func(lo, hi int, tag string) {
+		if hi-lo == 1 {
+			v := cases[lo]()
+			incomings = append(incomings, incoming{b.Block(), v})
+			b.Br(join)
+			return
+		}
+		mid := (lo + hi) / 2
+		lb := b.NewBlock(fmt.Sprintf("%s.%s.l", name, tag))
+		rb := b.NewBlock(fmt.Sprintf("%s.%s.r", name, tag))
+		c := b.CmpLT(sel, b.ConstI(int64(mid)))
+		b.CondBr(c, lb, rb)
+		b.SetBlock(lb)
+		emit(lo, mid, tag+"l")
+		b.SetBlock(rb)
+		emit(mid, hi, tag+"r")
+	}
+	emit(0, len(cases), "n")
+
+	b.SetBlock(join)
+	phi := b.Phi(ir.I64)
+	for _, inc := range incomings {
+		b.AddIncoming(phi, inc.from, inc.val)
+	}
+	return phi
+}
+
+// BuildFigure3Kernel constructs the paper's Figure 3 scenario: a loop with
+// two sequential diamonds whose outcomes alternate by iteration parity, so
+// the block sequences that pure edge profiles splice together (taken,taken
+// and not-taken,not-taken) never execute. Ball-Larus profiling identifies
+// the two real paths exactly; a braid merges them without waste.
+func BuildFigure3Kernel() *ir.Function {
+	b := ir.NewBuilder("figure3", ir.I64)
+	n := b.Param(0)
+	l := NewLoop(b, "it", n, b.ConstI(0))
+
+	two := b.ConstI(2)
+	par := b.Rem(l.I, two)
+	isEven := b.CmpEQ(par, b.ConstI(0))
+	isOdd := b.CmpNE(par, b.ConstI(0))
+
+	v1 := diamond(b, "d1", isEven,
+		func() ir.Reg { return b.Add(l.Carried(0), two) },
+		func() ir.Reg { return b.Sub(l.Carried(0), two) })
+	v2 := diamond(b, "d2", isOdd,
+		func() ir.Reg { return b.Mul(v1, two) },
+		func() ir.Reg { return b.Add(v1, l.I) })
+	masked := b.And(v2, b.ConstI(1048575))
+	l.End(masked)
+	b.Ret(l.Carried(0))
+	return b.MustFinish()
+}

@@ -1,0 +1,381 @@
+package workloads
+
+import "needle/internal/ir"
+
+// PARSEC kernels.
+
+// blackscholes: option pricing with a 4x-unrolled loop. Everything lives in
+// registers (the paper reports zero memory ops on the hot path); cached
+// options skip via a light path so the pricing braid covers ~half the
+// dynamic work, as in Table IV.
+var Blackscholes = register(&Workload{
+	Name: "blackscholes", Suite: PARSEC, FP: true,
+	Notes:    "4x-unrolled pricing: ~19 branches, no memory ops",
+	DefaultN: 3000,
+	MemWords: func(n int) int { return 16 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("bs_price", ir.I64, ir.I64)
+		n, seed := b.Param(0), b.Param(1)
+		l := NewLoop(b, "opt", n, b.ConstF(0), seed)
+
+		x0 := lcgStep(b, l.Carried(1))
+		// Batch already priced: skip (selector changes slowly with i so the
+		// skip decision runs in long streaks).
+		sel := b.And(b.Shr(l.I, b.ConstI(5)), b.ConstI(15))
+		l.ContinueIf("opt.cached", b.CmpLT(sel, b.ConstI(14)), func() []ir.Reg {
+			light := b.FAdd(l.Carried(0), b.ConstF(0.25))
+			return []ir.Reg{light, x0}
+		})
+
+		acc := l.Carried(0)
+		x := x0
+		for u := 0; u < 4; u++ {
+			tag := string(rune('a' + u))
+			x = lcgStep(b, x)
+			sRaw := bits(b, x, 16, 1023)
+			kRaw := bits(b, x, 32, 1023)
+			spot := b.FAdd(b.SIToFP(sRaw), b.ConstF(1))
+			strike := b.FAdd(b.SIToFP(kRaw), b.ConstF(1))
+			ratio := b.FDiv(spot, strike)
+			d1 := b.FMul(b.Log(ratio), b.ConstF(2.5))
+
+			cnd := diamond(b, "sgn"+tag, b.FCmpLT(d1, b.ConstF(0)),
+				func() ir.Reg {
+					a := b.FSub(b.ConstF(0), d1)
+					e := b.Exp(b.FMul(b.FMul(a, a), b.ConstF(-0.5)))
+					return b.FMul(e, b.ConstF(0.4))
+				},
+				func() ir.Reg {
+					e := b.Exp(b.FMul(b.FMul(d1, d1), b.ConstF(-0.5)))
+					return b.FSub(b.ConstF(1), b.FMul(e, b.ConstF(0.4)))
+				})
+			price := diamond(b, "itm"+tag, b.FCmpGT(ratio, b.ConstF(16)),
+				func() ir.Reg { return b.FSub(spot, strike) },
+				func() ir.Reg {
+					return diamond(b, "otm"+tag, b.FCmpLT(ratio, b.ConstF(0.0625)),
+						func() ir.Reg { return b.ConstF(0.01) },
+						func() ir.Reg { return b.FMul(b.FMul(spot, cnd), b.ConstF(0.9)) })
+				})
+			adj := diamond(b, "pc"+tag, b.CmpEQ(b.And(x, b.ConstI(15)), b.ConstI(0)),
+				func() ir.Reg { return b.FSub(b.FAdd(price, strike), spot) },
+				func() ir.Reg { return price })
+			acc = b.FAdd(acc, adj)
+		}
+		l.End(acc, x)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		return []uint64{uint64(n), 12345}
+	},
+})
+
+// bodytrack: particle likelihood — occluded particles skip via two light
+// paths; visible ones run the noisy-branch weight body (one of the paper's
+// "pathologically unpredictable" workloads). Coverage ~0.27.
+var Bodytrack = register(&Workload{
+	Name: "bodytrack", Suite: PARSEC, FP: true,
+	Notes:    "particle weights: noisy branches, low braid coverage",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("bt_weight", ir.I64, ir.I64, ir.I64)
+		n, edgeArr, fgArr := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "pt", n, b.ConstF(0))
+
+		idx := b.And(b.Mul(l.I, b.ConstI(13)), mask)
+		// Occlusion flags are per-camera-region and change slowly; the noisy
+		// per-pixel weights stay inside the braid as if-converted diamonds.
+		occl := b.Load(ir.F64, b.Add(edgeArr, b.And(b.Shr(l.I, b.ConstI(4)), b.ConstI(255))))
+		l.ContinueIf("pt.occl", b.FCmpLT(occl, b.ConstF(0.45)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		l.ContinueIf("pt.edge", b.FCmpLT(occl, b.ConstF(0.68)), func() []ir.Reg {
+			return []ir.Reg{b.FAdd(l.Carried(0), b.ConstF(0.05))}
+		})
+		e := b.Load(ir.F64, b.Add(edgeArr, idx))
+		g := b.Load(ir.F64, b.Add(fgArr, idx))
+		we := diamond(b, "edge", b.FCmpGT(e, b.ConstF(0.8)),
+			func() ir.Reg { return b.FMul(e, e) },
+			func() ir.Reg { return b.FMul(e, b.ConstF(0.1)) })
+		wg := diamond(b, "fg", b.FCmpGT(g, b.ConstF(0.5)),
+			func() ir.Reg { return g },
+			func() ir.Reg { return b.ConstF(0.05) })
+		wsum := b.FAdd(we, wg)
+		clamped := diamond(b, "clamp", b.FCmpGT(wsum, b.ConstF(1.5)),
+			func() ir.Reg { return b.ConstF(1.5) },
+			func() ir.Reg { return wsum })
+		acc := diamond(b, "mul", b.FCmpLT(b.FMul(e, g), b.ConstF(0.01)),
+			func() ir.Reg { return l.Carried(0) },
+			func() ir.Reg { return b.FAdd(l.Carried(0), clamped) })
+		l.End(acc)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("bodytrack")
+		// Short runs: noisy, hard-to-predict branch behaviour.
+		fillRuns(r, mem, 3, func() uint64 { return fbits(r.Float64()) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// ferret: similarity ranking — most images are filtered out early by a
+// coarse distance bound; survivors run the full distance plus an early-exit
+// insertion scan. Coverage ~0.39.
+var Ferret = register(&Workload{
+	Name: "ferret", Suite: PARSEC,
+	Notes:    "rank insert: coarse-filter continues, early-exit scan",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("ferret_rank", ir.I64, ir.I64, ir.I64)
+		n, feat, top := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "img", n, b.ConstI(0))
+
+		probe := b.Load(ir.I64, b.Add(feat, b.And(b.Shr(l.I, b.ConstI(3)), b.ConstI(511))))
+		l.ContinueIf("img.coarse", b.CmpGT(probe, b.ConstI(820)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		l.ContinueIf("img.medium", b.CmpGT(probe, b.ConstI(640)), func() []ir.Reg {
+			return []ir.Reg{b.Add(l.Carried(0), b.ConstI(1))}
+		})
+
+		d := b.ConstI(0)
+		for k := 0; k < 4; k++ {
+			idx := b.And(b.Add(b.Mul(l.I, b.ConstI(4)), b.ConstI(int64(k))), mask)
+			fv := b.Load(ir.I64, b.Add(feat, idx))
+			diff := b.Sub(fv, b.ConstI(500))
+			d = b.Add(d, b.Mul(diff, diff))
+		}
+		latch := b.NewBlock("img.latch")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var incs []inc
+		for s := 0; s < 6; s++ {
+			slot := b.Load(ir.I64, b.Add(top, b.ConstI(int64(s))))
+			better := b.CmpLT(d, slot)
+			insert := b.NewBlock("img.ins" + string(rune('0'+s)))
+			next := b.NewBlock("img.nxt" + string(rune('0'+s)))
+			b.CondBr(better, insert, next)
+			b.SetBlock(insert)
+			b.Store(b.Add(top, b.ConstI(int64(s))), d)
+			incs = append(incs, inc{b.Block(), b.ConstI(int64(s + 1))})
+			b.Br(latch)
+			b.SetBlock(next)
+		}
+		incs = append(incs, inc{b.Block(), b.ConstI(0)})
+		b.Br(latch)
+		b.SetBlock(latch)
+		rank := b.Phi(ir.I64)
+		for _, in := range incs {
+			b.AddIncoming(rank, in.from, in.val)
+		}
+		l.End(b.Add(l.Carried(0), rank))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("ferret")
+		fillRuns(r, mem[:4096], 14, func() uint64 { return uint64(r.Intn(1000)) })
+		for s := 0; s < 6; s++ {
+			mem[4096+s] = uint64(200000 + s*150000)
+		}
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// fluidanimate: neighbor-cell force — out-of-range pairs skip via two light
+// exits. Coverage ~0.25.
+var Fluidanimate = register(&Workload{
+	Name: "fluidanimate", Suite: PARSEC, FP: true,
+	Notes:    "cell forces: range-reject continues, FP pressure body",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("fluid_force", ir.I64, ir.I64, ir.I64)
+		n, pos, vel := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "p", n, b.ConstF(0))
+
+		i1 := b.And(b.Mul(l.I, b.ConstI(3)), mask)
+		i2 := b.And(b.Add(i1, b.ConstI(37)), mask)
+		p1 := b.Load(ir.F64, b.Add(pos, i1))
+		p2 := b.Load(ir.F64, b.Add(pos, i2))
+		dx := b.FSub(p1, p2)
+		dist2 := b.FMul(dx, dx)
+		l.ContinueIf("p.far", b.FCmpGE(dist2, b.ConstF(0.3)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		l.ContinueIf("p.mid", b.FCmpGE(dist2, b.ConstF(0.09)), func() []ir.Reg {
+			return []ir.Reg{b.FAdd(l.Carried(0), b.ConstF(0.01))}
+		})
+		v1 := b.Load(ir.F64, b.Add(vel, i1))
+		w := b.FSub(b.ConstF(0.09), dist2)
+		press := b.FMul(b.FMul(w, w), b.ConstF(30))
+		f := diamond(b, "visc", b.FCmpGT(v1, b.ConstF(0.8)),
+			func() ir.Reg { return b.FMul(press, b.ConstF(0.5)) },
+			func() ir.Reg { return press })
+		bounced := diamond(b, "wall", b.FCmpLT(p1, b.ConstF(0.02)),
+			func() ir.Reg { return b.FAdd(f, b.ConstF(5)) },
+			func() ir.Reg { return f })
+		l.End(b.FAdd(l.Carried(0), bounced))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("fluidanimate")
+		fillRuns(r, mem, 34, func() uint64 { return fbits(r.Float64()) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// freqmine: FP-growth header-table update — hot items take a short counted
+// path; the table-growth body is rare. Coverage ~0.17.
+var Freqmine = register(&Workload{
+	Name: "freqmine", Suite: PARSEC,
+	Notes:    "FP-growth count: hot-item continues, rare growth body",
+	DefaultN: 12000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("fpgrowth_count", ir.I64, ir.I64)
+		n, table := b.Param(0), b.Param(1)
+		mask := b.ConstI(8191)
+		l := NewLoop(b, "tx", n, b.ConstI(0))
+
+		h := b.And(b.Mul(l.I, b.ConstI(2654435761)), mask)
+		// Transactions arrive grouped by item class; hot classes take the
+		// short counting path in long streaks.
+		cls := b.Load(ir.I64, b.Add(table, b.And(b.Shr(l.I, b.ConstI(5)), b.ConstI(127))))
+		cnt := b.Load(ir.I64, b.Add(table, h))
+		l.ContinueIf("tx.hot", b.CmpGT(cls, b.ConstI(8)), func() []ir.Reg {
+			b.Store(b.Add(table, h), b.Add(cnt, b.ConstI(1)))
+			return []ir.Reg{b.Add(l.Carried(0), b.ConstI(1))}
+		})
+		l.ContinueIf("tx.cold", b.CmpLT(cls, b.ConstI(4)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		neighbor := b.Load(ir.I64, b.Add(table, b.And(b.Add(h, b.ConstI(1)), mask)))
+		upd := diamond(b, "grow", b.CmpEQ(b.And(cnt, b.ConstI(3)), b.ConstI(0)),
+			func() ir.Reg {
+				b.Store(b.Add(table, h), b.Add(cnt, b.ConstI(2)))
+				return b.Add(l.Carried(0), b.And(neighbor, b.ConstI(7)))
+			},
+			func() ir.Reg { return l.Carried(0) })
+		l.End(upd)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("freqmine")
+		fillRuns(r, mem, 5, func() uint64 { return uint64(r.Intn(25)) })
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// streamcluster: point assignment — distance plus a strongly biased
+// reassignment test; near-total coverage (paper: 91%).
+var Streamcluster = register(&Workload{
+	Name: "streamcluster", Suite: PARSEC, FP: true,
+	Notes:    "assign points: 3 branches, ~90% braid coverage",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("sc_assign", ir.I64, ir.I64, ir.I64)
+		n, pts, ctr := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "pt", n, b.ConstF(0))
+
+		idx := b.And(l.I, mask)
+		px := b.Load(ir.F64, b.Add(pts, idx))
+		l.ContinueIf("pt.same", b.FCmpLT(px, b.ConstF(0.04)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		cx := b.Load(ir.F64, b.Add(ctr, b.And(idx, b.ConstI(63))))
+		d := b.FSub(px, cx)
+		d2 := b.FMul(d, d)
+		moved := diamond(b, "near", b.FCmpLT(d2, b.ConstF(0.9)),
+			func() ir.Reg { return b.FAdd(l.Carried(0), d2) },
+			func() ir.Reg {
+				return diamond(b, "open", b.FCmpGT(d2, b.ConstF(3.0)),
+					func() ir.Reg { return b.FAdd(l.Carried(0), b.ConstF(3)) },
+					func() ir.Reg { return b.FAdd(l.Carried(0), b.FMul(d2, b.ConstF(0.5))) })
+			})
+		l.End(moved)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("streamcluster")
+		fillRuns(r, mem, 30, func() uint64 { return fbits(r.Float64() * 0.7) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// swaptions: HJM simulation — the suite's largest body: 4 unrolled
+// simulation steps with many data-dependent branches; barrier-knockout
+// paths leave early. Coverage ~0.38.
+var Swaptions = register(&Workload{
+	Name: "swaptions", Suite: PARSEC, FP: true,
+	Notes:    "HJM steps: ~400-op body, ~29 branches, thousands of paths",
+	DefaultN: 12000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("swaptions_hjm", ir.I64, ir.I64, ir.I64)
+		n, fwd, seed := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "sim", n, b.ConstF(0), seed)
+
+		x0 := lcgStep(b, l.Carried(1))
+		// Knocked-out scenario batches leave through two light latches.
+		koSel := b.And(b.Shr(l.I, b.ConstI(4)), b.ConstI(7))
+		l.ContinueIf("sim.ko", b.CmpLT(koSel, b.ConstI(4)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0), x0}
+		})
+		l.ContinueIf("sim.ko2", b.CmpLT(koSel, b.ConstI(6)), func() []ir.Reg {
+			return []ir.Reg{b.FAdd(l.Carried(0), b.ConstF(0.001)), x0}
+		})
+
+		acc := l.Carried(0)
+		x := x0
+		for u := 0; u < 6; u++ {
+			tag := string(rune('a' + u))
+			x = lcgStep(b, x)
+			idx := b.And(b.Add(l.I, bits(b, x, 20, 255)), mask)
+			f0 := b.Load(ir.F64, b.Add(fwd, idx))
+			shock := b.FMul(b.SIToFP(bits(b, x, 8, 255)), b.ConstF(1.0/256))
+			drift := b.FMul(f0, b.ConstF(0.01))
+			rate := b.FAdd(f0, b.FAdd(drift, shock))
+
+			r1 := diamond(b, "neg"+tag, b.FCmpLT(rate, b.ConstF(0.05)),
+				func() ir.Reg { return b.ConstF(0.05) },
+				func() ir.Reg { return rate })
+			r2 := diamond(b, "cap"+tag, b.FCmpGT(r1, b.ConstF(0.9)),
+				func() ir.Reg { return b.ConstF(0.9) },
+				func() ir.Reg { return r1 })
+			disc := diamond(b, "exp"+tag, b.FCmpGT(r2, b.ConstF(0.4)),
+				func() ir.Reg { return b.Exp(b.FSub(b.ConstF(0), r2)) },
+				func() ir.Reg { return b.FSub(b.ConstF(1), r2) })
+			pay := diamond(b, "itm"+tag, b.FCmpGT(disc, b.ConstF(0.62)),
+				func() ir.Reg { return b.FMul(b.FSub(disc, b.ConstF(0.62)), b.ConstF(100)) },
+				func() ir.Reg { return b.ConstF(0) })
+			sm := diamond(b, "smile"+tag, b.CmpEQ(b.And(x, b.ConstI(7)), b.ConstI(0)),
+				func() ir.Reg { return b.FMul(pay, b.ConstF(1.1)) },
+				func() ir.Reg { return pay })
+			b.Store(b.Add(fwd, idx), r2)
+			acc = b.FAdd(acc, sm)
+		}
+		l.End(acc, x)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("swaptions")
+		fillRuns(r, mem, 20, func() uint64 { return fbits(r.Float64() * 0.8) })
+		return []uint64{uint64(n), 0, 98765}
+	},
+})

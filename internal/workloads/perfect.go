@@ -1,0 +1,256 @@
+package workloads
+
+import "needle/internal/ir"
+
+// PERFECT suite kernels (radar/image processing).
+
+// dwt53: 5/3 lifting wavelet — integer straight-line body with a single
+// boundary branch; total coverage from one path.
+var Dwt53 = register(&Workload{
+	Name: "dwt53", Suite: PERFECT,
+	Notes:    "5/3 lifting: straight-line int body, 1 boundary branch",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("dwt53_lift", ir.I64, ir.I64, ir.I64)
+		n, src, dst := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "px", n, b.ConstI(0))
+
+		i0 := b.And(b.Mul(l.I, b.ConstI(2)), mask)
+		i1 := b.And(b.Add(i0, b.ConstI(1)), mask)
+		i2 := b.And(b.Add(i0, b.ConstI(2)), mask)
+		even0 := b.Load(ir.I64, b.Add(src, i0))
+		// Zero coefficients short-circuit through two light latches,
+		// splitting the lifting braid's coverage (paper: ~37%).
+		l.ContinueIf("px.zero", b.CmpLT(even0, b.ConstI(90)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		l.ContinueIf("px.small", b.CmpLT(even0, b.ConstI(150)), func() []ir.Reg {
+			return []ir.Reg{b.Add(l.Carried(0), b.And(even0, b.ConstI(7)))}
+		})
+		odd := b.Load(ir.I64, b.Add(src, i1))
+		even1 := b.Load(ir.I64, b.Add(src, i2))
+		// Predict: high = odd - (even0+even1)/2.
+		pred := b.Shr(b.Add(even0, even1), b.ConstI(1))
+		high := b.Sub(odd, pred)
+		// Update: low = even0 + (high+2)/4.
+		low := b.Add(even0, b.Shr(b.Add(high, b.ConstI(2)), b.ConstI(2)))
+		b.Store(b.Add(dst, i0), low)
+		b.Store(b.Add(dst, i1), high)
+		// Boundary clamp: taken only at tile edges.
+		acc := diamond(b, "bound", b.CmpEQ(b.And(i0, b.ConstI(1022)), b.ConstI(1022)),
+			func() ir.Reg { return b.Add(l.Carried(0), low) },
+			func() ir.Reg { return b.Add(l.Carried(0), high) })
+		l.End(acc)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("dwt53")
+		fillRuns(r, mem[:4096], 26, func() uint64 { return uint64(r.Intn(256)) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// fft-2d: radix-2 butterfly — FP twiddle multiply with a bit-reverse swap
+// branch.
+var FFT2D = register(&Workload{
+	Name: "fft-2d", Suite: PERFECT, FP: true,
+	Notes:    "butterfly: FP twiddle, bit-reverse branch",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 16384 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("fft2d_butterfly", ir.I64, ir.I64, ir.I64)
+		n, re, im := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(8191)
+		l := NewLoop(b, "bf", n, b.ConstF(0))
+
+		i0 := b.And(b.Mul(l.I, b.ConstI(2)), mask)
+		i1 := b.And(b.Add(i0, b.ConstI(512)), mask)
+		ar := b.Load(ir.F64, b.Add(re, i0))
+		// Zero-padded spectrum regions skip the butterfly (paper: ~51%).
+		l.ContinueIf("bf.pad", b.FCmpLT(ar, b.ConstF(-0.55)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		ai := b.Load(ir.F64, b.Add(im, i0))
+		br_ := b.Load(ir.F64, b.Add(re, i1))
+		bi := b.Load(ir.F64, b.Add(im, i1))
+		// Twiddle (constant angle per call keeps the body acyclic).
+		wr := b.ConstF(0.7071067811865476)
+		wi := b.ConstF(-0.7071067811865476)
+		tr := b.FSub(b.FMul(br_, wr), b.FMul(bi, wi))
+		ti := b.FAdd(b.FMul(br_, wi), b.FMul(bi, wr))
+		b.Store(b.Add(re, i0), b.FAdd(ar, tr))
+		b.Store(b.Add(im, i0), b.FAdd(ai, ti))
+		b.Store(b.Add(re, i1), b.FSub(ar, tr))
+		b.Store(b.Add(im, i1), b.FSub(ai, ti))
+		// Bit-reverse swap branch (quarter of indices).
+		swapped := diamond(b, "rev", b.CmpEQ(b.And(l.I, b.ConstI(3)), b.ConstI(0)),
+			func() ir.Reg { return b.FAdd(l.Carried(0), tr) },
+			func() ir.Reg { return l.Carried(0) })
+		scaled := diamond(b, "norm", b.FCmpGT(swapped, b.ConstF(1e9)),
+			func() ir.Reg { return b.FMul(swapped, b.ConstF(0.5)) },
+			func() ir.Reg { return swapped })
+		l.End(scaled)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("fft-2d")
+		fillRuns(r, mem, 22, func() uint64 { return fbits(r.Float64()*2 - 1) })
+		return []uint64{uint64(n), 0, 8192}
+	},
+})
+
+// sar-backprojection: per-pixel backprojection — range-bin chain with
+// several interpolation branches.
+var SarBackprojection = register(&Workload{
+	Name: "sar-backprojection", Suite: PERFECT, FP: true,
+	Notes:    "backprojection: range-bin branch chain + FP accumulate",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 16384 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("sar_bp", ir.I64, ir.I64, ir.I64)
+		n, data, img := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(8191)
+		l := NewLoop(b, "px", n, b.ConstI(0))
+
+		// Range computation.
+		fx := b.SIToFP(b.And(l.I, b.ConstI(1023)))
+		r2 := b.FAdd(b.FMul(fx, fx), b.ConstF(1e4))
+		rng := b.Sqrt(r2)
+		bin := b.FPToSI(b.FMul(rng, b.ConstF(0.5)))
+		binC := b.And(bin, mask)
+
+		// Range gate: a 3-deep early-exit chain over gate boundaries.
+		latch := b.NewBlock("px.latch")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var incs []inc
+		gates := []int64{900, 2600, 5200}
+		cur := binC
+		for g, lim := range gates {
+			within := b.CmpLT(cur, b.ConstI(lim))
+			inb := b.NewBlock("px.g" + string(rune('0'+g)))
+			incs = append(incs, inc{b.Block(), b.ConstI(int64(g))})
+			b.CondBr(within, latch, inb)
+			b.SetBlock(inb)
+			cur = b.Sub(cur, b.ConstI(lim/2))
+		}
+		incs = append(incs, inc{b.Block(), b.ConstI(3)})
+		b.Br(latch)
+		b.SetBlock(latch)
+		gate := b.Phi(ir.I64)
+		for _, in := range incs {
+			b.AddIncoming(gate, in.from, in.val)
+		}
+
+		// Linear interpolation between two samples with a nearest-neighbor
+		// fallback branch.
+		s0 := b.Load(ir.F64, b.Add(data, binC))
+		s1 := b.Load(ir.F64, b.Add(data, b.And(b.Add(binC, b.ConstI(1)), mask)))
+		fracRaw := b.FSub(rng, b.SIToFP(bin))
+		interp := diamond(b, "near", b.FCmpLT(fracRaw, b.ConstF(0.1)),
+			func() ir.Reg { return s0 },
+			func() ir.Reg {
+				d := b.FSub(s1, s0)
+				return b.FAdd(s0, b.FMul(d, fracRaw))
+			})
+		// Phase correction branch per gate parity.
+		contrib := diamond(b, "ph", b.CmpEQ(b.And(gate, b.ConstI(1)), b.ConstI(0)),
+			func() ir.Reg { return interp },
+			func() ir.Reg { return b.FSub(b.ConstF(0), interp) })
+		b.Store(b.Add(img, b.And(l.I, mask)), contrib)
+		acc := b.Add(l.Carried(0), b.FPToSI(b.FMul(contrib, b.ConstF(1000))))
+		// Pixels re-enter through one of 8 gate-dependent latches, spreading
+		// the weight across braid groups (paper coverage: ~19%).
+		fold := b.Add(gate, b.Shr(l.I, b.ConstI(6)))
+		l.LatchSwitch("px.ret", b.And(fold, b.ConstI(7)), 8, acc)
+		l.Done()
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("sar-backprojection")
+		for i := 0; i < 8192; i++ {
+			mem[i] = fbits(r.Float64()*2 - 1)
+		}
+		return []uint64{uint64(n), 0, 8192}
+	},
+})
+
+// sar-pfa-interp1: polar-format interpolation — window-selection branch
+// chain feeding a wide FP filter; the biggest PERFECT body.
+var SarPfaInterp1 = register(&Workload{
+	Name: "sar-pfa-interp1", Suite: PERFECT, FP: true,
+	Notes:    "polar interp: window-selection chain + 8-tap FP filter",
+	DefaultN: 8000,
+	MemWords: func(n int) int { return 16384 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("sar_pfa_interp", ir.I64, ir.I64, ir.I64)
+		n, samp, out := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(8191)
+		l := NewLoop(b, "k", n, b.ConstF(0), b.Param(0))
+
+		x := lcgStep(b, b.Xor(l.Carried(1), b.Shr(l.I, b.ConstI(2))))
+		// Out-of-swath samples skip interpolation (paper coverage: ~88%).
+		skipSel := b.And(b.Shr(l.I, b.ConstI(5)), b.ConstI(7))
+		l.ContinueIf("k.swath", b.CmpEQ(skipSel, b.ConstI(0)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0), x}
+		})
+		// Window selection: 5-deep chain on the resampling offset.
+		offs := bits(b, x, 12, 127)
+		latch := b.NewBlock("k.wsel")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var incs []inc
+		limits := []int64{8, 24, 48, 80, 112}
+		for g, lim := range limits {
+			hit := b.CmpLT(offs, b.ConstI(lim))
+			nxt := b.NewBlock("k.w" + string(rune('0'+g)))
+			incs = append(incs, inc{b.Block(), b.ConstI(int64(g))})
+			b.CondBr(hit, latch, nxt)
+			b.SetBlock(nxt)
+		}
+		incs = append(incs, inc{b.Block(), b.ConstI(5)})
+		b.Br(latch)
+		b.SetBlock(latch)
+		win := b.Phi(ir.I64)
+		for _, in := range incs {
+			b.AddIncoming(win, in.from, in.val)
+		}
+
+		// 8-tap filter around the selected window.
+		base := b.And(b.Add(b.Mul(win, b.ConstI(911)), offs), mask)
+		sum := b.ConstF(0)
+		for t := 0; t < 8; t++ {
+			sv := b.Load(ir.F64, b.Add(samp, b.And(b.Add(base, b.ConstI(int64(t))), mask)))
+			w := b.ConstF([]float64{0.02, 0.08, 0.2, 0.7, 0.7, 0.2, 0.08, 0.02}[t])
+			sum = b.FAdd(sum, b.FMul(sv, w))
+		}
+		// Sidelobe suppression branches.
+		s1 := diamond(b, "lobe", b.FCmpGT(sum, b.ConstF(1.2)),
+			func() ir.Reg { return b.FMul(sum, b.ConstF(0.8)) },
+			func() ir.Reg { return sum })
+		s2 := diamond(b, "zero", b.FCmpLT(s1, b.ConstF(-1.2)),
+			func() ir.Reg { return b.ConstF(-1.2) },
+			func() ir.Reg { return s1 })
+		b.Store(b.Add(out, b.And(l.I, mask)), s2)
+		acc := b.FAdd(l.Carried(0), s2)
+		l.End(acc, x)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("sar-pfa-interp1")
+		for i := 0; i < 8192; i++ {
+			mem[i] = fbits(r.Float64()*2 - 1)
+		}
+		return []uint64{uint64(n), 0, 8192}
+	},
+})

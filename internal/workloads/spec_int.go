@@ -1,0 +1,547 @@
+package workloads
+
+import "needle/internal/ir"
+
+// SPEC INT kernels. Each models the published hot-function shape of its
+// namesake: region size, branch count, memory intensity, braid coverage
+// (via light `continue` paths and multi-latch exits), and the relative
+// magnitude of the executed-path count (Tables II and IV). Input data is
+// generated with temporal runs so consecutive iterations tend to repeat
+// paths, the property Table III measures.
+
+// gzip: LZ77 longest-match loop — an early-exit compare chain over the
+// window, with a cheap "no candidate" continue path.
+var Gzip = register(&Workload{
+	Name: "164.gzip", Suite: SPEC,
+	Notes:    "LZ77 match loop: early-exit compare chain, few hot paths",
+	DefaultN: 12000,
+	MemWords: func(n int) int { return 4096 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("gzip_longest_match", ir.I64, ir.I64)
+		n, win := b.Param(0), b.Param(1)
+		mask := b.ConstI(4095)
+		zero := b.ConstI(0)
+		l := NewLoop(b, "pos", n, zero)
+
+		i := l.I
+		cand := b.Load(ir.I64, b.And(b.Add(win, i), mask))
+		here := b.Load(ir.I64, b.And(b.Add(win, b.Add(i, b.ConstI(64))), mask))
+
+		// No plausible candidate: skip the match attempt entirely.
+		l.ContinueIf("pos.skip", b.CmpGE(here, b.ConstI(100)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+
+		// Early-exit chain: extend the match while bytes agree.
+		latch := b.NewBlock("pos.latch")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var accum []inc
+		cur := b.CmpEQ(cand, here)
+		run := zero
+		for k := 0; k < 4; k++ {
+			next := b.NewBlock("pos.ext" + string(rune('0'+k)))
+			accum = append(accum, inc{b.Block(), run})
+			b.CondBr(cur, next, latch)
+			b.SetBlock(next)
+			off := b.ConstI(int64(65 + k))
+			c2 := b.Load(ir.I64, b.And(b.Add(win, b.Add(i, off)), mask))
+			c3 := b.Load(ir.I64, b.And(b.Add(win, b.Add(i, b.ConstI(int64(1+k)))), mask))
+			run = b.Add(run, b.ConstI(1))
+			cur = b.CmpEQ(c2, c3)
+		}
+		accum = append(accum, inc{b.Block(), run})
+		b.Br(latch)
+
+		b.SetBlock(latch)
+		best := b.Phi(ir.I64)
+		for _, a := range accum {
+			b.AddIncoming(best, a.from, a.val)
+		}
+		l.End(b.Add(l.Carried(0), best))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("164.gzip")
+		// Mostly-repetitive text in runs: first compares succeed often and
+		// consecutive positions behave alike.
+		fillRuns(r, mem, 40, func() uint64 {
+			if r.Intn(10) < 7 {
+				return uint64(r.Intn(3))
+			}
+			return uint64(r.Intn(200))
+		})
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// vpr: placement swap cost evaluation — most moves are rejected by a cheap
+// bounding-box test (light path); accepted moves run the full 8-branch,
+// load-heavy cost body. Hot-braid coverage lands near the namesake's 28%.
+var Vpr = register(&Workload{
+	Name: "175.vpr", Suite: SPEC,
+	Notes:    "placement cost: trivial-reject continue, heavy 8-branch body",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("vpr_try_swap", ir.I64, ir.I64, ir.I64)
+		n, xs, ys := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "move", n, b.ConstI(0))
+
+		idx := b.And(l.I, mask)
+		x1 := b.Load(ir.I64, b.Add(xs, idx))
+		y1 := b.Load(ir.I64, b.Add(ys, idx))
+
+		// Trivial reject: the move obviously cannot help.
+		l.ContinueIf("move.rej", b.CmpGT(x1, b.ConstI(80)), func() []ir.Reg {
+			return []ir.Reg{b.Add(l.Carried(0), b.And(y1, b.ConstI(3)))}
+		})
+
+		idx2 := b.And(b.Add(l.I, b.ConstI(17)), mask)
+		x2 := b.Load(ir.I64, b.Add(xs, idx2))
+		y2 := b.Load(ir.I64, b.Add(ys, idx2))
+
+		dx := diamond(b, "dx", b.CmpGT(x1, x2),
+			func() ir.Reg { return b.Sub(x1, x2) },
+			func() ir.Reg { return b.Sub(x2, x1) })
+		dy := diamond(b, "dy", b.CmpGT(y1, y2),
+			func() ir.Reg { return b.Sub(y1, y2) },
+			func() ir.Reg { return b.Sub(y2, y1) })
+		edgeX := diamond(b, "ex", b.CmpGT(dx, b.ConstI(30)),
+			func() ir.Reg {
+				c1 := b.Load(ir.I64, b.Add(xs, b.And(b.Add(idx, b.ConstI(1)), mask)))
+				return b.Add(dx, c1)
+			},
+			func() ir.Reg { return dx })
+		edgeY := diamond(b, "ey", b.CmpGT(dy, b.ConstI(30)),
+			func() ir.Reg {
+				c2 := b.Load(ir.I64, b.Add(ys, b.And(b.Add(idx, b.ConstI(1)), mask)))
+				return b.Add(dy, c2)
+			},
+			func() ir.Reg { return dy })
+
+		cost := b.Add(edgeX, edgeY)
+		occ1 := b.Load(ir.I64, b.Add(xs, b.And(b.Add(idx, b.ConstI(2048)), mask)))
+		occ2 := b.Load(ir.I64, b.Add(ys, b.And(b.Add(idx2, b.ConstI(2048)), mask)))
+		cost = b.Add(cost, b.And(b.Add(occ1, occ2), b.ConstI(63)))
+
+		penalized := diamond(b, "occ", b.CmpGT(b.Add(occ1, occ2), b.ConstI(220)),
+			func() ir.Reg { return b.Add(cost, b.ConstI(100)) },
+			func() ir.Reg { return cost })
+		total := diamond(b, "acc", b.CmpLT(penalized, b.ConstI(260)),
+			func() ir.Reg { return b.Add(l.Carried(0), penalized) },
+			func() ir.Reg { return l.Carried(0) })
+		h1 := b.Load(ir.I64, b.Add(xs, b.And(b.Add(idx, b.ConstI(1024)), mask)))
+		h2 := b.Load(ir.I64, b.Add(ys, b.And(b.Add(idx2, b.ConstI(1024)), mask)))
+		total = b.Add(total, b.And(b.Add(h1, h2), b.ConstI(7)))
+
+		l.End(total)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("175.vpr")
+		fillRuns(r, mem, 24, func() uint64 { return uint64(r.Intn(128)) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// mcf (SPEC 2000): network simplex arc scan — most arcs fail the pricing
+// test cheaply; profitable arcs run the update body.
+var Mcf2000 = register(&Workload{
+	Name: "181.mcf", Suite: SPEC,
+	Notes:    "arc scan: cheap reject continue, update body on profitable arcs",
+	DefaultN: 16000,
+	MemWords: func(n int) int { return 12288 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("mcf_price_out", ir.I64, ir.I64, ir.I64)
+		n, costs, flows := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "arc", n, b.ConstI(0))
+
+		idx := b.And(l.I, mask)
+		cost := b.Load(ir.I64, b.Add(costs, idx))
+		// Unprofitable arc: skip.
+		l.ContinueIf("arc.skip", b.CmpGE(cost, b.ConstI(60)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+
+		flow := b.Load(ir.I64, b.Add(flows, idx))
+		red := b.Sub(cost, flow)
+		picked := diamond(b, "neg", b.CmpLT(red, b.ConstI(0)),
+			func() ir.Reg {
+				b.Store(b.Add(flows, idx), b.Add(flow, b.ConstI(1)))
+				return b.Sub(l.Carried(0), red)
+			},
+			func() ir.Reg { return l.Carried(0) })
+		upd := diamond(b, "basis", b.CmpGT(picked, b.ConstI(1000000)),
+			func() ir.Reg { return b.Sub(picked, b.ConstI(1000000)) },
+			func() ir.Reg { return picked })
+		tail1 := b.Load(ir.I64, b.Add(costs, b.And(b.Add(idx, b.ConstI(2048)), mask)))
+		tail2 := b.Load(ir.I64, b.Add(flows, b.And(b.Add(idx, b.ConstI(1024)), mask)))
+		upd = b.Add(upd, b.And(b.Add(tail1, tail2), b.ConstI(15)))
+		l.End(upd)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("181.mcf")
+		fillRuns(r, mem[:4096], 32, func() uint64 { return uint64(r.Intn(100)) })
+		fillRuns(r, mem[4096:8192], 32, func() uint64 { return uint64(r.Intn(100) + 40) })
+		return []uint64{uint64(n), 0, 4096}
+	},
+})
+
+// crafty: move generation — stacked dispatch trees and a 16-way latch
+// switch spread the weight over many braid groups, giving the chess-engine
+// signature: tens of thousands of paths, tiny per-braid coverage.
+var Crafty = register(&Workload{
+	Name: "186.crafty", Suite: SPEC,
+	Notes:    "move gen: stacked trees + 16-way latch split, huge path count",
+	DefaultN: 30000,
+	MemWords: func(n int) int { return 4096 },
+	Build:    func() *ir.Function { return buildChessKernel("crafty_genmoves", 4, 32, 16) },
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("186.crafty")
+		fillRuns(r, mem, 8, func() uint64 { return uint64(r.Int63()) })
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// sjeng: same family as crafty with fewer latch groups.
+var Sjeng = register(&Workload{
+	Name: "458.sjeng", Suite: SPEC,
+	Notes:    "search dispatch: stacked trees + 4-way latch split",
+	DefaultN: 36000,
+	MemWords: func(n int) int { return 4096 },
+	Build:    func() *ir.Function { return buildChessKernel("sjeng_search", 4, 24, 4) },
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("458.sjeng")
+		fillRuns(r, mem, 8, func() uint64 { return uint64(r.Int63()) })
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// buildChessKernel builds `trees` sequential dispatch trees with `leaves`
+// leaves each, selected by board-state loads, re-entering the loop through
+// one of `latches` latch groups.
+func buildChessKernel(name string, trees, leaves, latches int) *ir.Function {
+	b := ir.NewBuilder(name, ir.I64, ir.I64)
+	n, board := b.Param(0), b.Param(1)
+	mask := b.ConstI(4095)
+	l := NewLoop(b, "ply", n, b.ConstI(0))
+
+	state := b.Load(ir.I64, b.Add(board, b.And(l.I, mask)))
+	acc := l.Carried(0)
+	for t := 0; t < trees; t++ {
+		state = lcgStep(b, b.Xor(state, b.Shr(l.I, b.ConstI(3))))
+		sel := bits(b, state, int64(8+t*6), int64(leaves-1))
+		cases := make([]func() ir.Reg, leaves)
+		for c := 0; c < leaves; c++ {
+			cval := int64(c)
+			tt := t
+			cases[c] = func() ir.Reg {
+				v := b.Add(state, b.ConstI(cval*3+int64(tt)))
+				if cval%3 == 0 {
+					v = b.Xor(v, b.Shl(v, b.ConstI(2)))
+				}
+				if cval%4 == 1 {
+					w := b.Load(ir.I64, b.Add(board, b.And(v, mask)))
+					v = b.Add(v, b.And(w, b.ConstI(255)))
+				}
+				return v
+			}
+		}
+		picked := switchTree(b, "t"+string(rune('0'+t)), sel, cases)
+		acc = b.Add(acc, b.And(picked, b.ConstI(1023)))
+	}
+	if latches > 1 {
+		// Search phases re-enter through phase-dependent latches; the phase
+		// changes slowly, so the invocation predictor can track it.
+		phase := b.Shr(l.I, b.ConstI(6))
+		l.LatchSwitch("ply.ret", b.And(phase, b.ConstI(int64(latches-1))), latches, acc)
+		l.Done()
+	} else {
+		l.End(acc)
+	}
+	b.Ret(l.Carried(0))
+	return b.MustFinish()
+}
+
+// parser: dictionary lookup — a hash-cache hit skips the binary search.
+var Parser = register(&Workload{
+	Name: "197.parser", Suite: SPEC,
+	Notes:    "dictionary probe: cache-hit continue, 3-branch binary search",
+	DefaultN: 12000,
+	MemWords: func(n int) int { return 4096 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("parser_dict_lookup", ir.I64, ir.I64)
+		n, dict := b.Param(0), b.Param(1)
+		mask := b.ConstI(2047)
+		l := NewLoop(b, "word", n, b.ConstI(0))
+
+		key := b.And(b.Mul(l.I, b.ConstI(2654435761)), mask)
+		cached := b.Load(ir.I64, b.Add(dict, b.And(key, b.ConstI(255))))
+		// Words arrive in sentence batches that alternate between cached and
+		// uncached vocabulary.
+		batch := b.And(b.Shr(l.I, b.ConstI(4)), b.ConstI(3))
+		l.ContinueIf("word.hit", b.CmpEQ(batch, b.ConstI(0)), func() []ir.Reg {
+			return []ir.Reg{b.Add(l.Carried(0), b.And(cached, b.ConstI(255)))}
+		})
+
+		lo := b.ConstI(0)
+		hi := b.ConstI(2047)
+		for d := 0; d < 3; d++ {
+			midIdx := b.Shr(b.Add(lo, hi), b.ConstI(1))
+			entry := b.Load(ir.I64, b.Add(dict, midIdx))
+			goLeft := b.CmpLT(key, entry)
+			curLo := lo
+			lo = diamond(b, "lo"+string(rune('0'+d)), goLeft,
+				func() ir.Reg { return curLo },
+				func() ir.Reg { return midIdx })
+			hi = b.Select(goLeft, midIdx, hi)
+		}
+		found := b.Load(ir.I64, b.Add(dict, b.And(lo, mask)))
+		l.End(b.Add(l.Carried(0), b.And(found, b.ConstI(255))))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("197.parser")
+		for i := range mem {
+			mem[i] = uint64(i*3) ^ uint64(r.Intn(7))
+		}
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// bzip2: block-sort suffix comparison — deep early-exit chains plus a
+// 16-way latch split: thousands of paths, minuscule per-braid coverage.
+var Bzip2 = register(&Workload{
+	Name: "401.bzip2", Suite: SPEC,
+	Notes:    "suffix compare: early-exit chains, 16-way latch split",
+	DefaultN: 24000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("bzip2_fullgtu", ir.I64, ir.I64)
+		n, block := b.Param(0), b.Param(1)
+		mask := b.ConstI(8191)
+		l := NewLoop(b, "cmp", n, b.ConstI(0))
+
+		i1 := b.And(b.Mul(l.I, b.ConstI(7)), mask)
+		i2 := b.And(b.Mul(b.Add(l.I, b.ConstI(3)), b.ConstI(11)), mask)
+		latch := b.NewBlock("cmp.latch")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var incs []inc
+		a1, a2 := i1, i2
+		depth := b.ConstI(0)
+		for k := 0; k < 12; k++ {
+			v1 := b.Load(ir.I64, b.Add(block, a1))
+			v2 := b.Load(ir.I64, b.Add(block, a2))
+			eq := b.CmpEQ(v1, v2)
+			next := b.NewBlock("cmp.k" + string(rune('a'+k)))
+			incs = append(incs, inc{b.Block(), b.Add(depth, b.Sub(v1, v2))})
+			b.CondBr(eq, next, latch)
+			b.SetBlock(next)
+			a1 = b.And(b.Add(a1, b.ConstI(1)), mask)
+			a2 = b.And(b.Add(a2, b.ConstI(1)), mask)
+			depth = b.Add(depth, b.ConstI(1))
+		}
+		incs = append(incs, inc{b.Block(), depth})
+		b.Br(latch)
+		b.SetBlock(latch)
+		res := b.Phi(ir.I64)
+		for _, in := range incs {
+			b.AddIncoming(res, in.from, in.val)
+		}
+		r1 := diamond(b, "b1", b.CmpLT(res, b.ConstI(0)),
+			func() ir.Reg { return b.Sub(l.Carried(0), res) },
+			func() ir.Reg { return b.Add(l.Carried(0), res) })
+		r2 := diamond(b, "b2", b.CmpGT(res, b.ConstI(6)),
+			func() ir.Reg {
+				b.Store(b.Add(block, b.And(res, mask)), r1)
+				return b.Add(r1, b.ConstI(2))
+			},
+			func() ir.Reg { return r1 })
+		phase := b.Shr(l.I, b.ConstI(5))
+		l.LatchSwitch("cmp.ret", b.And(phase, b.ConstI(15)), 16, r2)
+		l.Done()
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("401.bzip2")
+		fillRuns(r, mem, 6, func() uint64 { return uint64(r.Intn(3)) })
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// gcc: RTL pattern dispatch — a nop-class continue path, then the serial
+// dispatch body; few executed paths with very high coverage.
+var Gcc = register(&Workload{
+	Name: "403.gcc", Suite: SPEC,
+	Notes:    "RTL dispatch: nop continue, serial body (no ILP), ~20 paths",
+	DefaultN: 10000,
+	MemWords: func(n int) int { return 2048 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("gcc_combine", ir.I64, ir.I64)
+		n, insns := b.Param(0), b.Param(1)
+		mask := b.ConstI(2047)
+		l := NewLoop(b, "insn", n, b.ConstI(0))
+
+		op := b.Load(ir.I64, b.Add(insns, b.And(l.I, mask)))
+		// Notes/nops: skip cheaply.
+		l.ContinueIf("insn.nop", b.CmpGE(op, b.ConstI(14)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		sel := b.And(op, b.ConstI(15))
+		cases := make([]func() ir.Reg, 16)
+		for c := 0; c < 16; c++ {
+			cval := int64(c)
+			cases[c] = func() ir.Reg {
+				v := b.Add(op, b.ConstI(cval))
+				v = b.Mul(v, b.ConstI(3))
+				v = b.Xor(v, b.Shr(v, b.ConstI(5)))
+				v = b.Add(v, b.ConstI(cval*7))
+				return v
+			}
+		}
+		res := switchTree(b, "op", sel, cases)
+		l.End(b.Add(l.Carried(0), b.And(res, b.ConstI(4095))))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("403.gcc")
+		fillRuns(r, mem, 20, func() uint64 {
+			k := r.Intn(100)
+			switch {
+			case k < 35:
+				return 2
+			case k < 58:
+				return 7
+			case k < 74:
+				return 11
+			case k < 86:
+				return 4
+			case k < 93:
+				return 14 // nop class -> light path
+			default:
+				return uint64(r.Intn(16))
+			}
+		})
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// mcf (SPEC 2006): shorter body, same cheap-reject shape.
+var Mcf2006 = register(&Workload{
+	Name: "429.mcf", Suite: SPEC,
+	Notes:    "arc pricing: reject continue, 2-branch update body",
+	DefaultN: 16000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("mcf06_refresh", ir.I64, ir.I64)
+		n, arcs := b.Param(0), b.Param(1)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "arc", n, b.ConstI(0))
+		idx := b.And(b.Mul(l.I, b.ConstI(5)), mask)
+		c := b.Load(ir.I64, b.Add(arcs, idx))
+		l.ContinueIf("arc.skip", b.CmpGE(c, b.ConstI(24)), func() []ir.Reg {
+			return []ir.Reg{l.Carried(0)}
+		})
+		picked := diamond(b, "neg", b.CmpLT(c, b.ConstI(12)),
+			func() ir.Reg { return b.Add(l.Carried(0), c) },
+			func() ir.Reg { return b.Sub(l.Carried(0), c) })
+		c2 := b.Load(ir.I64, b.Add(arcs, b.And(b.Add(idx, b.ConstI(1)), mask)))
+		skip := diamond(b, "fix", b.CmpEQ(b.And(c2, b.ConstI(127)), b.ConstI(0)),
+			func() ir.Reg {
+				b.Store(b.Add(arcs, idx), b.Add(c, b.ConstI(1)))
+				return b.Add(picked, b.ConstI(1))
+			},
+			func() ir.Reg { return picked })
+		l.End(skip)
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("429.mcf")
+		fillRuns(r, mem, 28, func() uint64 { return uint64(r.Intn(40)) })
+		return []uint64{uint64(n), 0}
+	},
+})
+
+// h264ref: SAD with early termination — a skip-block continue path, then
+// unrolled abs-diff with a mid-chain cutoff.
+var H264ref = register(&Workload{
+	Name: "464.h264ref", Suite: SPEC,
+	Notes:    "motion SAD: skip continue, unrolled abs-diff, early cutoff",
+	DefaultN: 12000,
+	MemWords: func(n int) int { return 8192 },
+	Build: func() *ir.Function {
+		b := ir.NewBuilder("h264_sad", ir.I64, ir.I64, ir.I64)
+		n, ref, cur := b.Param(0), b.Param(1), b.Param(2)
+		mask := b.ConstI(4095)
+		l := NewLoop(b, "blk", n, b.ConstI(0))
+
+		base := b.And(b.Mul(l.I, b.ConstI(4)), mask)
+		first := b.Load(ir.I64, b.Add(ref, base))
+		// Skip blocks flagged as already matched.
+		l.ContinueIf("blk.skip", b.CmpGE(first, b.ConstI(140)), func() []ir.Reg {
+			return []ir.Reg{b.Add(l.Carried(0), b.And(first, b.ConstI(7)))}
+		})
+
+		sad := b.ConstI(0)
+		exit := b.NewBlock("blk.cut")
+		type inc struct {
+			from *ir.Block
+			val  ir.Reg
+		}
+		var incs []inc
+		for k := 0; k < 4; k++ {
+			off := b.ConstI(int64(k))
+			rv := b.Load(ir.I64, b.Add(ref, b.And(b.Add(base, off), mask)))
+			cv := b.Load(ir.I64, b.Add(cur, b.And(b.Add(base, off), mask)))
+			d := diamond(b, "abs"+string(rune('0'+k)), b.CmpGT(rv, cv),
+				func() ir.Reg { return b.Sub(rv, cv) },
+				func() ir.Reg { return b.Sub(cv, rv) })
+			sad = b.Add(sad, d)
+			if k == 1 {
+				over := b.CmpGT(sad, b.ConstI(400))
+				cont := b.NewBlock("blk.cont")
+				incs = append(incs, inc{b.Block(), sad})
+				b.CondBr(over, exit, cont)
+				b.SetBlock(cont)
+			}
+		}
+		incs = append(incs, inc{b.Block(), sad})
+		b.Br(exit)
+		b.SetBlock(exit)
+		total := b.Phi(ir.I64)
+		for _, in := range incs {
+			b.AddIncoming(total, in.from, in.val)
+		}
+		l.End(b.Add(l.Carried(0), total))
+		b.Ret(l.Carried(0))
+		return b.MustFinish()
+	},
+	Setup: func(mem []uint64, n int) []uint64 {
+		r := rngFor("464.h264ref")
+		v := uint64(0)
+		for i := 0; i < 4096; i++ {
+			if r.Intn(20) == 0 {
+				v = uint64(r.Intn(200))
+			}
+			mem[i] = v
+			mem[4096+i] = v + uint64(r.Intn(30))
+		}
+		return []uint64{uint64(n), 0, 4096}
+	},
+})

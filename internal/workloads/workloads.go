@@ -1,0 +1,127 @@
+// Package workloads provides the 29 benchmark kernels the evaluation runs:
+// one per workload of the paper's SPEC, PARSEC, and PERFECT suites. Each
+// kernel is a from-scratch IR program whose fully-inlined hot function is
+// modeled on the published control-flow characteristics of its namesake
+// (Table I/II: executed path counts, region sizes, branch counts, memory
+// intensity, floating-point content, and branch-bias distribution). The
+// paper's results are functions of control-flow shape, not of the exact
+// arithmetic, so these synthetic equivalents exercise the same pipeline
+// behaviour end to end.
+package workloads
+
+import (
+	"fmt"
+	"math/rand"
+
+	"needle/internal/ir"
+)
+
+// Suite names.
+const (
+	SPEC    = "SPEC"
+	PARSEC  = "PARSEC"
+	PERFECT = "PERFECT"
+)
+
+// Workload describes one benchmark kernel.
+type Workload struct {
+	Name  string
+	Suite string
+	// Notes describes which published characteristic the kernel models.
+	Notes string
+	// FP marks floating-point-dominated kernels.
+	FP bool
+	// DefaultN is the problem size used by the full evaluation harness;
+	// tests use smaller sizes for speed.
+	DefaultN int
+	// MemWords returns the memory footprint for a problem size.
+	MemWords func(n int) int
+	// Build constructs the hot function.
+	Build func() *ir.Function
+	// Setup fills memory deterministically and returns the function
+	// arguments for a problem size.
+	Setup func(mem []uint64, n int) []uint64
+
+	cached *ir.Function
+}
+
+// Function returns the kernel's hot function, building it on first use.
+func (w *Workload) Function() *ir.Function {
+	if w.cached == nil {
+		w.cached = w.Build()
+	}
+	return w.cached
+}
+
+// Instance prepares a run: function, arguments, and initialized memory.
+// n <= 0 selects DefaultN.
+func (w *Workload) Instance(n int) (*ir.Function, []uint64, []uint64) {
+	if n <= 0 {
+		n = w.DefaultN
+	}
+	mem := make([]uint64, w.MemWords(n))
+	args := w.Setup(mem, n)
+	return w.Function(), args, mem
+}
+
+// rngFor returns the deterministic random stream for a workload name, so
+// every run of the harness reproduces the same profile.
+func rngFor(name string) *rand.Rand {
+	var seed int64 = 0x51F15EED
+	for _, c := range name {
+		seed = seed*31 + int64(c)
+	}
+	return rand.New(rand.NewSource(seed))
+}
+
+// fillRuns fills a with generated values held constant across runs whose
+// expected length is runLen, modeling the temporal locality of real inputs:
+// consecutive loop iterations tend to take the same path, which is what
+// makes path repetition (Table III) and invocation prediction work.
+func fillRuns(r *rand.Rand, a []uint64, runLen int, gen func() uint64) {
+	v := gen()
+	for i := range a {
+		if r.Intn(runLen) == 0 {
+			v = gen()
+		}
+		a[i] = v
+	}
+}
+
+var registry []*Workload
+
+func register(w *Workload) *Workload {
+	for _, e := range registry {
+		if e.Name == w.Name {
+			panic(fmt.Sprintf("workloads: duplicate workload %q", w.Name))
+		}
+	}
+	registry = append(registry, w)
+	return w
+}
+
+// All returns every registered workload in suite order.
+func All() []*Workload {
+	out := make([]*Workload, len(registry))
+	copy(out, registry)
+	return out
+}
+
+// ByName returns the named workload, or nil.
+func ByName(name string) *Workload {
+	for _, w := range registry {
+		if w.Name == name {
+			return w
+		}
+	}
+	return nil
+}
+
+// Names returns all workload names in registration order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, w := range registry {
+		out[i] = w.Name
+	}
+	return out
+}
