@@ -1,0 +1,13 @@
+.PHONY: check build test bench
+
+check:
+	./scripts/check.sh
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go run ./cmd/needle -bench-json

@@ -163,7 +163,7 @@ func BenchmarkPathProfiling(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		work := make([]uint64, len(memory))
 		copy(work, memory)
-		if _, err := profile.CollectFunction(f, args, work, false, 0); err != nil {
+		if _, err := profile.CollectFunction(nil, f, args, work, false, 0); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -172,7 +172,7 @@ func BenchmarkPathProfiling(b *testing.B) {
 // BenchmarkPathDecode measures path-ID decoding.
 func BenchmarkPathDecode(b *testing.B) {
 	f := workloads.ByName("186.crafty").Function()
-	dag, err := ballarus.Build(f)
+	dag, err := ballarus.Build(nil, f)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func BenchmarkPathDecode(b *testing.B) {
 func BenchmarkBraidConstruction(b *testing.B) {
 	w := workloads.ByName("453.povray")
 	f, args, memory := w.Instance(3000)
-	fp, err := profile.CollectFunction(f, args, memory, true, 0)
+	fp, err := profile.CollectFunction(nil, f, args, memory, true, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -205,14 +205,14 @@ func BenchmarkBraidConstruction(b *testing.B) {
 func BenchmarkFrameBuild(b *testing.B) {
 	w := workloads.ByName("470.lbm")
 	f, args, memory := w.Instance(500)
-	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	fp, err := profile.CollectFunction(nil, f, args, memory, false, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
 	r := region.FromPath(f, fp.HottestPath())
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := frame.Build(r, frame.Options{}); err != nil {
+		if _, err := frame.Build(nil, r, frame.Options{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -222,11 +222,11 @@ func BenchmarkFrameBuild(b *testing.B) {
 func BenchmarkCGRASchedule(b *testing.B) {
 	w := workloads.ByName("swaptions")
 	f, args, memory := w.Instance(1000)
-	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	fp, err := profile.CollectFunction(nil, f, args, memory, false, 0)
 	if err != nil {
 		b.Fatal(err)
 	}
-	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, fp.HottestPath()), frame.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -260,7 +260,7 @@ func captureFor(b *testing.B, name string, n int) *sim.Trace {
 	b.Helper()
 	w := workloads.ByName(name)
 	f, args, memory := w.Instance(n)
-	tr, err := sim.Capture(f, args, memory, sim.DefaultConfig())
+	tr, err := sim.Capture(nil, f, args, memory, sim.DefaultConfig())
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -279,7 +279,7 @@ func BenchmarkAblationGuardPlacement(b *testing.B) {
 		b.Run(pc.name, func(b *testing.B) {
 			var cp int
 			for i := 0; i < b.N; i++ {
-				fr, err := frame.Build(r, frame.Options{Placement: pc.p})
+				fr, err := frame.Build(nil, r, frame.Options{Placement: pc.p})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -302,7 +302,7 @@ func BenchmarkAblationMemOrdering(b *testing.B) {
 		b.Run(mo.name, func(b *testing.B) {
 			var cycles int64
 			for i := 0; i < b.N; i++ {
-				fr, err := frame.Build(r, frame.Options{Ordering: mo.o})
+				fr, err := frame.Build(nil, r, frame.Options{Ordering: mo.o})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -318,7 +318,7 @@ func BenchmarkAblationMemOrdering(b *testing.B) {
 func BenchmarkAblationPredictor(b *testing.B) {
 	tr := captureFor(b, "bodytrack", 2000)
 	cfg := sim.DefaultConfig()
-	tgt, err := sim.NewPathTarget(tr.Profile, tr.Profile.HottestPath(), cfg)
+	tgt, err := sim.NewPathTarget(nil, tr.Profile, tr.Profile.HottestPath(), cfg)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -370,7 +370,7 @@ func BenchmarkAblationUndoCost(b *testing.B) {
 		b.Run(name, func(b *testing.B) {
 			var invoke int64
 			for i := 0; i < b.N; i++ {
-				fr, err := frame.Build(r, frame.Options{UndoOpsPerStore: undo})
+				fr, err := frame.Build(nil, r, frame.Options{UndoOpsPerStore: undo})
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -387,7 +387,7 @@ func BenchmarkAblationUndoCost(b *testing.B) {
 func BenchmarkAblationPathExpansion(b *testing.B) {
 	tr := captureFor(b, "183.equake", 1000)
 	r := region.FromPath(tr.Profile.F, tr.Profile.HottestPath())
-	base, err := frame.Build(r, frame.Options{})
+	base, err := frame.Build(nil, r, frame.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -467,7 +467,7 @@ func BenchmarkAblationHostBranchPredictor(b *testing.B) {
 // the optimistic uniform one-hop assumption.
 func BenchmarkAblationRouting(b *testing.B) {
 	tr := captureFor(b, "456.hmmer", 2000)
-	fr, err := frame.Build(region.FromPath(tr.Profile.F, tr.Profile.HottestPath()), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(tr.Profile.F, tr.Profile.HottestPath()), frame.Options{})
 	if err != nil {
 		b.Fatal(err)
 	}

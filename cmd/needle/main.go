@@ -12,10 +12,12 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"needle/internal/core"
 	"needle/internal/ir"
@@ -34,6 +36,8 @@ func main() {
 		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (with -workload or alone for all)")
 		dotOut   = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload)")
 		nirOut   = flag.Bool("nir", false, "emit the workload's kernel as textual .nir (with -workload)")
+		jobs     = flag.Int("j", 0, "parallel analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		benchOut = flag.Bool("bench-json", false, "run the full suite and emit wall-clock timings as JSON")
 	)
 	flag.Parse()
 
@@ -48,6 +52,8 @@ func main() {
 	cfg.N = *n
 
 	switch {
+	case *benchOut:
+		benchJSON(cfg, *jobs)
 	case *workload != "":
 		w := workloads.ByName(*workload)
 		if w == nil {
@@ -78,7 +84,7 @@ func main() {
 		}
 		report(a)
 	case *jsonOut:
-		as, err := core.AnalyzeAll(cfg)
+		as, err := core.AnalyzeAllJobs(cfg, *jobs)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -90,7 +96,7 @@ func main() {
 	case *figure == "3":
 		fmt.Println(tables.Figure3())
 	case *table != "" || *figure != "" || *all:
-		s, err := tables.Run(cfg)
+		s, err := tables.RunJobs(cfg, *jobs)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -136,6 +142,50 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// benchJSON runs the full analysis sweep and every table/figure renderer,
+// emitting wall-clock timings as JSON — the perf-trajectory artifact future
+// changes are measured against.
+func benchJSON(cfg core.Config, jobs int) {
+	type timing struct {
+		Name string  `json:"name"`
+		Ms   float64 `json:"ms"`
+	}
+	start := time.Now()
+	s, err := tables.RunJobs(cfg, jobs)
+	if err != nil {
+		fatal("analysis sweep: %v", err)
+	}
+	sweepMs := time.Since(start).Seconds() * 1000
+
+	var timings []timing
+	renderers := []struct {
+		name string
+		fn   func() string
+	}{
+		{"TableI", s.TableI}, {"TableII", s.TableII}, {"TableIII", s.TableIII},
+		{"TableIV", s.TableIV}, {"TableV", s.TableV}, {"TableHLS", s.TableHLS},
+		{"Figure2", s.Figure2}, {"Figure3", tables.Figure3}, {"Figure4", s.Figure4},
+		{"Figure5", s.Figure5}, {"Figure6", s.Figure6}, {"Figure9", s.Figure9},
+		{"Figure10", s.Figure10},
+	}
+	for _, r := range renderers {
+		t0 := time.Now()
+		_ = r.fn()
+		timings = append(timings, timing{Name: r.name, Ms: time.Since(t0).Seconds() * 1000})
+	}
+	out, err := json.MarshalIndent(struct {
+		Jobs      int      `json:"jobs"`
+		Workloads int      `json:"workloads"`
+		SweepMs   float64  `json:"sweep_ms"`
+		TotalMs   float64  `json:"total_ms"`
+		Tables    []timing `json:"tables"`
+	}{jobs, len(s.Analyses), sweepMs, time.Since(start).Seconds() * 1000, timings}, "", "  ")
+	if err != nil {
+		fatal("json: %v", err)
+	}
+	fmt.Println(string(out))
 }
 
 func report(a *core.Analysis) {

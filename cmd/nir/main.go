@@ -25,6 +25,7 @@ import (
 	"needle/internal/ballarus"
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 )
@@ -53,8 +54,9 @@ func main() {
 	switch cmd {
 	case "stats":
 		f := pick(m, *funcName)
-		st := region.Characterize(f)
-		dag, derr := ballarus.Build(f)
+		am := pm.NewManager()
+		st := region.Characterize(am, f)
+		dag, derr := ballarus.Build(am, f)
 		fmt.Printf("%s: %d blocks, %d instructions, %d branches, %d back edges\n",
 			f.Name, len(f.Blocks), f.NumInstrs(), st.Branches, st.BackwardBranches)
 		fmt.Printf("predication bits for full if-conversion: %d\n", st.PredicationBits)
@@ -87,7 +89,7 @@ func main() {
 			printResult(f, res)
 			return
 		}
-		fp, err := profile.CollectFunction(f, args, mem, false, 0)
+		fp, err := profile.CollectFunction(nil, f, args, mem, false, 0)
 		if err != nil {
 			fatal("%v", err)
 		}

@@ -26,7 +26,7 @@ import (
 
 func main() {
 	f := workloads.BuildFigure3Kernel()
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(2000)}, nil, true, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(2000)}, nil, true, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -50,7 +50,7 @@ func main() {
 	}
 
 	// Hyperblock: if-converts both sides everywhere.
-	hb := region.BuildHyperblock(fp, hot.Blocks[0], 0.1)
+	hb := region.BuildHyperblock(nil, fp, hot.Blocks[0], 0.1)
 	fmt.Printf("\nhyperblock from %s: %d ops, %d predicates, %d cold ops\n",
 		hot.Blocks[0], hb.NumOps(), hb.PredBits, hb.ColdOps)
 
@@ -66,7 +66,7 @@ func main() {
 	}
 	fmt.Printf("constituent paths carry %d guards in total; the braid needs %d\n", pathGuards, top.Guards)
 
-	bf, err := frame.Build(&top.Region, frame.Options{})
+	bf, err := frame.Build(nil, &top.Region, frame.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

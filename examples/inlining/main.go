@@ -74,7 +74,7 @@ exit:
 `
 
 func summarize(label string, f *ir.Function) {
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(600)}, nil, true, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(600)}, nil, true, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -107,7 +107,7 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	passes.Optimize(inlined)
+	passes.Optimize(nil, inlined)
 	after, err := interp.Run(inlined, []uint64{interp.IBits(600)}, nil, nil, 0)
 	if err != nil {
 		log.Fatal(err)

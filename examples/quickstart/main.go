@@ -89,7 +89,7 @@ func main() {
 	}
 
 	// Step 1: profile Ball-Larus paths.
-	fp, err := profile.CollectFunction(f,
+	fp, err := profile.CollectFunction(nil, f,
 		[]uint64{interp.IBits(64), interp.IBits(0), interp.IBits(64)}, mem, true, 0)
 	if err != nil {
 		log.Fatal(err)
@@ -107,7 +107,7 @@ func main() {
 
 	// Step 2: extract the hottest path into a software frame.
 	hot := fp.HottestPath()
-	fr, err := frame.Build(region.FromPath(f, hot), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, hot), frame.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -56,12 +56,12 @@ func main() {
 
 	// Profile on clean data to find the hot iteration path.
 	train := make([]uint64, 8)
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(8)}, train, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(0), interp.IBits(8)}, train, false, 0)
 	if err != nil {
 		log.Fatal(err)
 	}
 	hot := fp.HottestPath()
-	fr, err := frame.Build(region.FromPath(f, hot), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, hot), frame.Options{})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -16,9 +16,9 @@ import (
 	"errors"
 	"fmt"
 
-	"needle/internal/analysis"
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/pm"
 )
 
 // ErrTooManyPaths is returned when a function's acyclic path count exceeds
@@ -66,11 +66,12 @@ type DAG struct {
 }
 
 // Build computes the path numbering for f. The function must be finished
-// and verified.
-func Build(f *ir.Function) (*DAG, error) {
-	dom := analysis.Dominators(f)
+// and verified. Dominance facts come from am (nil for a one-shot manager).
+func Build(am *pm.Manager, f *ir.Function) (*DAG, error) {
+	am = pm.Ensure(am)
+	dom := am.Dominators(f)
 	back := make(map[edgeKey]bool)
-	for _, e := range analysis.BackEdges(f, dom) {
+	for _, e := range am.BackEdges(f) {
 		back[edgeKey{e.From.Index, e.To.Index}] = true
 	}
 

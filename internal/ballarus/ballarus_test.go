@@ -71,7 +71,7 @@ exit:
 `
 
 func TestNumPathsDiamond(t *testing.T) {
-	d, err := Build(parse(t, diamondSrc))
+	d, err := Build(nil, parse(t, diamondSrc))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -81,7 +81,7 @@ func TestNumPathsDiamond(t *testing.T) {
 }
 
 func TestNumPathsLoopDiamond(t *testing.T) {
-	d, err := Build(parse(t, loopDiamondSrc))
+	d, err := Build(nil, parse(t, loopDiamondSrc))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -93,7 +93,7 @@ func TestNumPathsLoopDiamond(t *testing.T) {
 }
 
 func TestDecodeAllPathsUniqueAndValid(t *testing.T) {
-	d, err := Build(parse(t, loopDiamondSrc))
+	d, err := Build(nil, parse(t, loopDiamondSrc))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -128,7 +128,7 @@ func TestDecodeAllPathsUniqueAndValid(t *testing.T) {
 
 func TestEncodeDecodeRoundTrip(t *testing.T) {
 	for _, src := range []string{diamondSrc, loopDiamondSrc} {
-		d, err := Build(parse(t, src))
+		d, err := Build(nil, parse(t, src))
 		if err != nil {
 			t.Fatalf("Build: %v", err)
 		}
@@ -149,7 +149,7 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 }
 
 func TestDecodeRejectsOutOfRange(t *testing.T) {
-	d, err := Build(parse(t, diamondSrc))
+	d, err := Build(nil, parse(t, diamondSrc))
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -163,7 +163,7 @@ func TestDecodeRejectsOutOfRange(t *testing.T) {
 
 func TestProfilerCountsMatchExecution(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
-	d, err := Build(f)
+	d, err := Build(nil, f)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -200,7 +200,7 @@ func TestProfilerCountsMatchExecution(t *testing.T) {
 // between the even and odd body paths.
 func TestProfilerPartitionProperty(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
-	d, err := Build(f)
+	d, err := Build(nil, f)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -228,7 +228,7 @@ func TestProfilerPartitionProperty(t *testing.T) {
 
 func TestProfilerMultipleInvocations(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
-	d, err := Build(f)
+	d, err := Build(nil, f)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -261,14 +261,14 @@ exit:
   ret
 }
 `
-	if _, err := Build(parse(t, src)); err == nil {
+	if _, err := Build(nil, parse(t, src)); err == nil {
 		t.Fatal("expected irreducible CFG error")
 	}
 }
 
 func TestIsBackEdge(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
-	d, err := Build(f)
+	d, err := Build(nil, f)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -285,7 +285,7 @@ func TestIsBackEdge(t *testing.T) {
 
 func TestPathOpsCountsAllInstrs(t *testing.T) {
 	f := parse(t, diamondSrc)
-	d, err := Build(f)
+	d, err := Build(nil, f)
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -327,7 +327,7 @@ func TestBuildRejectsPathExplosion(t *testing.T) {
 	}
 	b.Ret(v)
 	f := b.MustFinish()
-	if _, err := Build(f); err == nil {
+	if _, err := Build(nil, f); err == nil {
 		t.Fatal("expected path-count overflow error")
 	}
 }

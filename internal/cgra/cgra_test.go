@@ -16,11 +16,11 @@ func hotPathFrame(t testing.TB, src string, args ...uint64) *frame.Frame {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := profile.CollectFunction(f, args, make([]uint64, 256), false, 0)
+	fp, err := profile.CollectFunction(nil, f, args, make([]uint64, 256), false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, fp.HottestPath()), frame.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -221,11 +221,11 @@ exit:
 		t.Fatal(err)
 	}
 	mem := make([]uint64, 64)
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, fp.HottestPath()), frame.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,10 +8,13 @@ package core
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
 
 	"needle/internal/frame"
 	"needle/internal/hls"
 	"needle/internal/passes"
+	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/sim"
@@ -47,6 +50,10 @@ type Analysis struct {
 	Workload *workloads.Workload
 	Config   Config
 
+	// AM is the analysis manager that served this run; later frame or
+	// region construction against the analyzed function should reuse it.
+	AM *pm.Manager
+
 	// Trace is the captured baseline execution (profile + host costs).
 	Trace *sim.Trace
 	// Profile is the ranked Ball-Larus path profile.
@@ -80,20 +87,24 @@ func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
 		cfg = DefaultConfig()
 	}
 	f, args, memory := w.Instance(cfg.N)
-	f, err := passes.InlineAll(f, 0)
+	// Each run owns a fresh analysis manager: results stay independent of
+	// any shared mutable state, so runs can proceed in parallel.
+	am := pm.NewManager()
+	f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(f)
 	if err != nil {
 		return nil, fmt.Errorf("core: inlining %s: %w", w.Name, err)
 	}
-	tr, err := sim.Capture(f, args, memory, cfg.Sim)
+	tr, err := sim.Capture(am, f, args, memory, cfg.Sim)
 	if err != nil {
 		return nil, fmt.Errorf("core: capturing %s: %w", w.Name, err)
 	}
 	a := &Analysis{
 		Workload: w,
 		Config:   cfg,
+		AM:       am,
 		Trace:    tr,
 		Profile:  tr.Profile,
-		CFStats:  region.Characterize(f),
+		CFStats:  region.Characterize(am, f),
 		Braids:   region.BuildBraids(tr.Profile, 0),
 	}
 
@@ -111,7 +122,7 @@ func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
 	}
 
 	if len(a.Braids) > 0 {
-		fr, err := frame.Build(&a.Braids[0].Region, cfg.Sim.Frame)
+		fr, err := frame.Build(am, &a.Braids[0].Region, cfg.Sim.Frame)
 		if err == nil {
 			a.HotBraidFrame = fr
 			a.HLS = hls.Synthesize(fr, hls.CycloneV())
@@ -120,15 +131,58 @@ func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
 	return a, nil
 }
 
-// AnalyzeAll runs the pipeline over every registered workload.
+// AnalyzeAll runs the pipeline over every registered workload with the
+// default degree of parallelism (GOMAXPROCS).
 func AnalyzeAll(cfg Config) ([]*Analysis, error) {
-	var out []*Analysis
-	for _, w := range workloads.All() {
-		a, err := Analyze(w, cfg)
+	return AnalyzeAllJobs(cfg, 0)
+}
+
+// AnalyzeAllJobs runs the pipeline over every registered workload on a
+// bounded worker pool of `jobs` goroutines (GOMAXPROCS when jobs <= 0,
+// serial when jobs == 1). Each workload's analysis owns its manager and
+// shares no mutable state with the others, so the result slice is in
+// registration order and identical to a serial run; on failure the error
+// of the earliest-registered failing workload is returned.
+func AnalyzeAllJobs(cfg Config, jobs int) ([]*Analysis, error) {
+	ws := workloads.All()
+	if jobs <= 0 {
+		jobs = runtime.GOMAXPROCS(0)
+	}
+	if jobs > len(ws) {
+		jobs = len(ws)
+	}
+	out := make([]*Analysis, len(ws))
+	errs := make([]error, len(ws))
+	if jobs <= 1 {
+		for i, w := range ws {
+			a, err := Analyze(w, cfg)
+			if err != nil {
+				return nil, err
+			}
+			out[i] = a
+		}
+		return out, nil
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for j := 0; j < jobs; j++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				out[i], errs[i] = Analyze(ws[i], cfg)
+			}
+		}()
+	}
+	for i := range ws {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		out = append(out, a)
 	}
 	return out, nil
 }
@@ -148,7 +202,7 @@ func (a *Analysis) PathFrame(rank int) (*frame.Frame, error) {
 		return nil, fmt.Errorf("core: %s has no path of rank %d", a.Workload.Name, rank)
 	}
 	r := region.FromPath(a.Profile.F, paths[rank])
-	return frame.Build(r, a.Config.Sim.Frame)
+	return frame.Build(a.AM, r, a.Config.Sim.Frame)
 }
 
 // Superblock builds the edge-profile baseline region seeded at the hottest
@@ -168,5 +222,5 @@ func (a *Analysis) Hyperblock() *region.Hyperblock {
 	if hot == nil {
 		return nil
 	}
-	return region.BuildHyperblock(a.Profile, hot.Blocks[0], a.Config.ColdFraction)
+	return region.BuildHyperblock(a.AM, a.Profile, hot.Blocks[0], a.Config.ColdFraction)
 }

@@ -45,11 +45,11 @@ func expandSetup(t testing.TB) *Frame {
 	for i := range mem {
 		mem[i] = interp.FBits(float64(i) * 0.25)
 	}
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(64)}, mem, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(0), interp.IBits(64)}, mem, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := Build(region.FromPath(f, fp.HottestPath()), Options{})
+	fr, err := Build(nil, region.FromPath(f, fp.HottestPath()), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

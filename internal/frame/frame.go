@@ -10,8 +10,8 @@ import (
 	"fmt"
 	"strings"
 
-	"needle/internal/analysis"
 	"needle/internal/ir"
+	"needle/internal/pm"
 	"needle/internal/region"
 )
 
@@ -127,8 +127,10 @@ type CarriedPair struct {
 // depends on, memory stays conservatively ordered, and there is no undo
 // log — the design Needle's software speculation is compared against.
 // Superblocks have multiple exits with a single flow of control and cannot
-// be framed.
-func Build(r *region.Region, opts Options) (*Frame, error) {
+// be framed. Liveness and control-dependence facts are served by am (nil
+// for a one-shot manager).
+func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
+	am = pm.Ensure(am)
 	predicated := r.Kind == region.KindHyperblock
 	if r.Kind != region.KindPath && r.Kind != region.KindBraid && !predicated {
 		return nil, fmt.Errorf("frame: cannot frame a %s region", r.Kind)
@@ -154,7 +156,7 @@ func Build(r *region.Region, opts Options) (*Frame, error) {
 	}
 	fr := &Frame{Region: r, opts: opts}
 
-	liveIn, liveOut := r.LiveValues()
+	liveIn, liveOut := r.LiveValues(am)
 	// Entry phis become frame arguments: their destinations join the
 	// live-in set and their incoming operands (already counted live-in by
 	// the region analysis) are what the host marshals.
@@ -207,9 +209,8 @@ func Build(r *region.Region, opts Options) (*Frame, error) {
 	var ctrlOf map[*ir.Block][]*ir.Block // block -> controlling branch blocks
 	branchOpIdx := make(map[*ir.Block]int)
 	if predicated {
-		pdom := analysis.PostDominators(r.F)
 		ctrlOf = make(map[*ir.Block][]*ir.Block)
-		for br, deps := range analysis.ControlDependents(r.F, pdom) {
+		for br, deps := range am.ControlDependents(r.F) {
 			for _, dep := range deps {
 				ctrlOf[dep] = append(ctrlOf[dep], br)
 			}

@@ -49,7 +49,7 @@ func setup(t testing.TB) (*ir.Function, *profile.FunctionProfile) {
 	for i := range mem {
 		mem[i] = interp.IBits(int64(i % 10))
 	}
-	fp, err := profile.CollectFunction(f,
+	fp, err := profile.CollectFunction(nil, f,
 		[]uint64{interp.IBits(0), interp.IBits(64), interp.IBits(4)}, mem, true, 0)
 	if err != nil {
 		t.Fatalf("CollectFunction: %v", err)
@@ -61,7 +61,7 @@ func TestBuildPathFrame(t *testing.T) {
 	f, fp := setup(t)
 	hot := fp.HottestPath()
 	r := region.FromPath(f, hot)
-	fr, err := Build(r, Options{})
+	fr, err := Build(nil, r, Options{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -98,7 +98,7 @@ func TestBuildBraidFrame(t *testing.T) {
 	if top.MergedPathCount() < 2 {
 		t.Fatalf("merged = %d, want >= 2", top.MergedPathCount())
 	}
-	fr, err := Build(&top.Region, Options{})
+	fr, err := Build(nil, &top.Region, Options{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -152,7 +152,7 @@ exit:
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(60)}, nil, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(60)}, nil, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -160,7 +160,7 @@ exit:
 	if top.MergedPathCount() < 2 {
 		t.Fatalf("merged = %d", top.MergedPathCount())
 	}
-	fr, err := Build(&top.Region, Options{})
+	fr, err := Build(nil, &top.Region, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -175,7 +175,7 @@ exit:
 func TestBuildRejectsSuperblock(t *testing.T) {
 	f, fp := setup(t)
 	sb := region.BuildSuperblock(fp, f.Entry(), 0)
-	if _, err := Build(&sb.Region, Options{}); err == nil {
+	if _, err := Build(nil, &sb.Region, Options{}); err == nil {
 		t.Fatal("expected error framing a superblock")
 	}
 }
@@ -185,7 +185,7 @@ func TestDependencesRespectProgramOrder(t *testing.T) {
 	// Braid containing load+store: store must depend on load (same address
 	// conservative ordering), and later loads on the store.
 	braids := region.BuildBraids(fp, 0)
-	fr, err := Build(&braids[0].Region, Options{})
+	fr, err := Build(nil, &braids[0].Region, Options{})
 	if err != nil {
 		t.Fatalf("Build: %v", err)
 	}
@@ -245,11 +245,11 @@ func TestGuardPlacementAffectsCriticalPath(t *testing.T) {
 	_ = f
 	hot := fp.HottestPath()
 	r := region.FromPath(fp.F, hot)
-	async, err := Build(r, Options{Placement: GuardsAsync})
+	async, err := Build(nil, r, Options{Placement: GuardsAsync})
 	if err != nil {
 		t.Fatal(err)
 	}
-	serial, err := Build(r, Options{Placement: GuardsSerialize})
+	serial, err := Build(nil, r, Options{Placement: GuardsSerialize})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -265,7 +265,7 @@ func TestGuardPlacementAffectsCriticalPath(t *testing.T) {
 func TestCriticalPathSanity(t *testing.T) {
 	_, fp := setup(t)
 	hot := fp.HottestPath()
-	fr, err := Build(region.FromPath(fp.F, hot), Options{})
+	fr, err := Build(nil, region.FromPath(fp.F, hot), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -302,12 +302,12 @@ join:
 	if err != nil {
 		t.Fatal(err)
 	}
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(5)}, nil, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(5)}, nil, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hot := fp.HottestPath() // entry->pos->join
-	fr, err := Build(region.FromPath(f, hot), Options{})
+	fr, err := Build(nil, region.FromPath(f, hot), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -334,8 +334,8 @@ join:
 
 func TestPredicatedHyperblockFrame(t *testing.T) {
 	f, fp := setup(t)
-	hb := region.BuildHyperblock(fp, f.BlockByName("body"), 0.1)
-	fr, err := Build(&hb.Region, Options{})
+	hb := region.BuildHyperblock(nil, fp, f.BlockByName("body"), 0.1)
+	fr, err := Build(nil, &hb.Region, Options{})
 	if err != nil {
 		t.Fatalf("Build(hyperblock): %v", err)
 	}
@@ -373,14 +373,14 @@ func TestPredicatedHyperblockFrame(t *testing.T) {
 func TestPredicatedFrameSerializesMemory(t *testing.T) {
 	f, fp := setup(t)
 	_ = f
-	hb := region.BuildHyperblock(fp, fp.F.BlockByName("body"), 0.1)
-	pr, err := Build(&hb.Region, Options{})
+	hb := region.BuildHyperblock(nil, fp, fp.F.BlockByName("body"), 0.1)
+	pr, err := Build(nil, &hb.Region, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	// The same blocks as a braid (speculative) expose more parallelism.
 	braids := region.BuildBraids(fp, 0)
-	sp, err := Build(&braids[0].Region, Options{})
+	sp, err := Build(nil, &braids[0].Region, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -391,7 +391,7 @@ func TestPredicatedFrameSerializesMemory(t *testing.T) {
 
 func TestDotExport(t *testing.T) {
 	_, fp := setup(t)
-	fr, err := Build(region.FromPath(fp.F, fp.HottestPath()), Options{})
+	fr, err := Build(nil, region.FromPath(fp.F, fp.HottestPath()), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -440,11 +440,11 @@ exit:
 		t.Fatal(err)
 	}
 	mem := make([]uint64, 128)
-	fp, err := profile.CollectFunction(f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
+	fp, err := profile.CollectFunction(nil, f, []uint64{interp.IBits(0), interp.IBits(32)}, mem, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := Build(region.FromPath(f, fp.HottestPath()), Options{Ordering: MemConservative})
+	fr, err := Build(nil, region.FromPath(f, fp.HottestPath()), Options{Ordering: MemConservative})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -14,11 +14,11 @@ func hotFrame(t testing.TB, name string) *frame.Frame {
 	t.Helper()
 	w := workloads.ByName(name)
 	f, args, memory := w.Instance(600)
-	fp, err := profile.CollectFunction(f, args, memory, false, 0)
+	fp, err := profile.CollectFunction(nil, f, args, memory, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	fr, err := frame.Build(region.FromPath(f, fp.HottestPath()), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, fp.HottestPath()), frame.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

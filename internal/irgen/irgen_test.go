@@ -48,7 +48,7 @@ func TestGeneratedProgramsAreWellFormed(t *testing.T) {
 func TestBallLarusPartitionInvariant(t *testing.T) {
 	for seed := int64(0); seed < seeds; seed++ {
 		p := Generate(seed, Config{})
-		dag, err := ballarus.Build(p.F)
+		dag, err := ballarus.Build(nil, p.F)
 		if err != nil {
 			t.Fatalf("seed %d: Build: %v", seed, err)
 		}
@@ -86,7 +86,7 @@ func TestOptimizePreservesSemanticsOnRandomPrograms(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 		clone := ir.CloneFunction(p.F)
-		passes.Optimize(clone)
+		passes.Optimize(nil, clone)
 		if err := analysis.VerifySSA(clone); err != nil {
 			t.Fatalf("seed %d: optimized SSA: %v", seed, err)
 		}
@@ -114,7 +114,7 @@ func TestOptimizePreservesSemanticsOnRandomPrograms(t *testing.T) {
 func TestProfilePipelineOnRandomPrograms(t *testing.T) {
 	for seed := int64(0); seed < seeds; seed += 3 {
 		p := Generate(seed, Config{})
-		fp, err := profile.CollectFunction(p.F, []uint64{interp.IBits(5)}, p.NewMem(), true, 1<<22)
+		fp, err := profile.CollectFunction(nil, p.F, []uint64{interp.IBits(5)}, p.NewMem(), true, 1<<22)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -141,7 +141,7 @@ func TestProfilePipelineOnRandomPrograms(t *testing.T) {
 func TestRegionAndFramePipelineOnRandomPrograms(t *testing.T) {
 	for seed := int64(0); seed < seeds; seed += 5 {
 		p := Generate(seed, Config{})
-		fp, err := profile.CollectFunction(p.F, []uint64{interp.IBits(9)}, p.NewMem(), true, 1<<22)
+		fp, err := profile.CollectFunction(nil, p.F, []uint64{interp.IBits(9)}, p.NewMem(), true, 1<<22)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -163,14 +163,14 @@ func TestRegionAndFramePipelineOnRandomPrograms(t *testing.T) {
 		// Frame every braid and the top paths.
 		var frames []*frame.Frame
 		for _, br := range braids {
-			fr, err := frame.Build(&br.Region, frame.Options{})
+			fr, err := frame.Build(nil, &br.Region, frame.Options{})
 			if err != nil {
 				t.Fatalf("seed %d: braid frame: %v", seed, err)
 			}
 			frames = append(frames, fr)
 		}
 		for _, pp := range fp.TopK(3) {
-			fr, err := frame.Build(region.FromPath(p.F, pp), frame.Options{})
+			fr, err := frame.Build(nil, region.FromPath(p.F, pp), frame.Options{})
 			if err != nil {
 				t.Fatalf("seed %d: path frame: %v", seed, err)
 			}
@@ -202,7 +202,7 @@ func TestSpecRollbackOnRandomPrograms(t *testing.T) {
 	checked := 0
 	for seed := int64(0); seed < seeds; seed++ {
 		p := Generate(seed, Config{})
-		fp, err := profile.CollectFunction(p.F, []uint64{interp.IBits(3)}, p.NewMem(), false, 1<<22)
+		fp, err := profile.CollectFunction(nil, p.F, []uint64{interp.IBits(3)}, p.NewMem(), false, 1<<22)
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -212,7 +212,7 @@ func TestSpecRollbackOnRandomPrograms(t *testing.T) {
 		if hot.Blocks[0] != p.F.Entry() || len(hot.Blocks[0].Phis()) > 0 {
 			continue
 		}
-		fr, err := frame.Build(region.FromPath(p.F, hot), frame.Options{})
+		fr, err := frame.Build(nil, region.FromPath(p.F, hot), frame.Options{})
 		if err != nil {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
@@ -253,16 +253,16 @@ func TestFunctionalOffloadOnRandomPrograms(t *testing.T) {
 			t.Fatalf("seed %d: %v", seed, err)
 		}
 
-		tr, err := sim.Capture(p.F, []uint64{interp.IBits(21)}, p.NewMem(), cfg)
+		tr, err := sim.Capture(nil, p.F, []uint64{interp.IBits(21)}, p.NewMem(), cfg)
 		if err != nil {
 			t.Fatalf("seed %d: capture: %v", seed, err)
 		}
 		targets := []*sim.Target{}
-		if tgt, err := sim.NewPathTarget(tr.Profile, tr.Profile.HottestPath(), cfg); err == nil {
+		if tgt, err := sim.NewPathTarget(nil, tr.Profile, tr.Profile.HottestPath(), cfg); err == nil {
 			targets = append(targets, tgt)
 		}
 		if braids := region.BuildBraids(tr.Profile, 0); len(braids) > 0 {
-			if tgt, err := sim.NewBraidTarget(tr.Profile, braids[0], cfg); err == nil {
+			if tgt, err := sim.NewBraidTarget(nil, tr.Profile, braids[0], cfg); err == nil {
 				targets = append(targets, tgt)
 			}
 		}

@@ -11,6 +11,7 @@ import (
 	"math"
 
 	"needle/internal/ir"
+	"needle/internal/pm"
 )
 
 // InlineAll clones f with every call (transitively) inlined, up to maxDepth
@@ -435,17 +436,85 @@ func SimplifyCFG(f *ir.Function) int {
 	}
 }
 
-// Optimize runs the standard cleanup pipeline: constant folding, local
-// CSE, DCE, and CFG simplification to a fixed point.
-func Optimize(f *ir.Function) {
-	for {
-		changed := ConstFold(f) > 0
-		changed = LocalCSE(f) > 0 || changed
-		changed = DeadCodeElim(f) > 0 || changed
-		changed = SimplifyCFG(f) > 0 || changed
-		if !changed {
-			return
-		}
+// InlinePass wraps InlineAll as a managed pass. Inlining rebuilds the
+// function, so nothing of the old function's analyses carries over.
+func InlinePass(maxDepth int) pm.Pass {
+	return pm.Pass{
+		Name: "inline",
+		Run: func(f *ir.Function) (*ir.Function, bool, error) {
+			out, err := InlineAll(f, maxDepth)
+			if err != nil {
+				return f, false, err
+			}
+			return out, out != f, nil
+		},
+		Preserves: pm.PreserveNone,
+	}
+}
+
+// ConstFoldPass wraps ConstFold. Folding rewrites instructions in place
+// without touching the block graph or def locations, so every CFG-shape
+// analysis and the def-use map stay valid.
+func ConstFoldPass() pm.Pass {
+	return pm.Pass{
+		Name: "constfold",
+		Run: func(f *ir.Function) (*ir.Function, bool, error) {
+			return f, ConstFold(f) > 0, nil
+		},
+		Preserves: pm.PreserveCFG().Plus(pm.KindDefUse),
+	}
+}
+
+// CSEPass wraps LocalCSE. Eliminating duplicates removes instructions
+// (invalidating liveness and def-use) but never blocks.
+func CSEPass() pm.Pass {
+	return pm.Pass{
+		Name: "cse",
+		Run: func(f *ir.Function) (*ir.Function, bool, error) {
+			return f, LocalCSE(f) > 0, nil
+		},
+		Preserves: pm.PreserveCFG(),
+	}
+}
+
+// DCEPass wraps DeadCodeElim. Like CSE, it removes instructions but keeps
+// the block graph intact.
+func DCEPass() pm.Pass {
+	return pm.Pass{
+		Name: "dce",
+		Run: func(f *ir.Function) (*ir.Function, bool, error) {
+			return f, DeadCodeElim(f) > 0, nil
+		},
+		Preserves: pm.PreserveCFG(),
+	}
+}
+
+// SimplifyCFGPass wraps SimplifyCFG, which merges and drops blocks and so
+// preserves nothing.
+func SimplifyCFGPass() pm.Pass {
+	return pm.Pass{
+		Name: "simplifycfg",
+		Run: func(f *ir.Function) (*ir.Function, bool, error) {
+			return f, SimplifyCFG(f) > 0, nil
+		},
+		Preserves: pm.PreserveNone,
+	}
+}
+
+// CleanupPasses returns the standard cleanup pipeline in canonical order:
+// constant folding, local CSE, DCE, and CFG simplification.
+func CleanupPasses() []pm.Pass {
+	return []pm.Pass{ConstFoldPass(), CSEPass(), DCEPass(), SimplifyCFGPass()}
+}
+
+// Optimize runs the standard cleanup pipeline to a fixed point through a
+// pass manager bound to am (nil for a one-shot manager), so cached analyses
+// of f are invalidated exactly as each transform declares.
+func Optimize(am *pm.Manager, f *ir.Function) {
+	mgr := pm.NewPassManager(am).Add(CleanupPasses()...)
+	// The cleanup passes mutate in place and cannot fail.
+	if _, err := mgr.RunFixedPoint(f); err != nil {
+		panic(fmt.Sprintf("passes: cleanup pipeline failed: %v", err))
 	}
 }
 

@@ -305,7 +305,7 @@ func TestOptimizePipelinePreservesSemantics(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	Optimize(inlined)
+	Optimize(nil, inlined)
 	if err := ir.Verify(inlined); err != nil {
 		t.Fatalf("optimized IR invalid: %v", err)
 	}
@@ -334,8 +334,8 @@ func TestInlinedFunctionProfilesCleanly(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Inline-produced CFGs profile after simplification too.
-	Optimize(inlined)
-	fp, err := profile.CollectFunction(inlined, []uint64{interp.IBits(9), interp.IBits(2)}, nil, false, 0)
+	Optimize(nil, inlined)
+	fp, err := profile.CollectFunction(nil, inlined, []uint64{interp.IBits(9), interp.IBits(2)}, nil, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,7 +344,7 @@ func TestInlinedFunctionProfilesCleanly(t *testing.T) {
 	}
 	// The absdiff branch makes (9,2) take the gt path; (2,9) the le path:
 	// two distinct Ball-Larus paths across inputs.
-	fp2, err := profile.CollectFunction(inlined, []uint64{interp.IBits(2), interp.IBits(9)}, nil, false, 0)
+	fp2, err := profile.CollectFunction(nil, inlined, []uint64{interp.IBits(2), interp.IBits(9)}, nil, false, 0)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,410 @@
+// Package pm provides pass and analysis management for the Needle pipeline,
+// mirroring the PassManager/AnalysisManager idiom of LLVM-derived systems:
+// a per-function Manager lazily computes and caches the dataflow analyses
+// the middle layers consume (reverse postorder, dominators, post-dominators,
+// liveness, def-use, natural loops, control dependence), and a PassManager
+// runs IR transforms through it so each transform declares which analyses it
+// preserves. Consumers share one Manager per pipeline run instead of
+// recomputing the same facts for the same function many times.
+//
+// The Manager is safe for concurrent use; the experiment harness runs one
+// Manager per workload analysis, so contention is nil in practice.
+package pm
+
+import (
+	"fmt"
+	"sync"
+
+	"needle/internal/analysis"
+	"needle/internal/ir"
+)
+
+// Kind identifies one cached analysis.
+type Kind uint8
+
+const (
+	// KindRPO is the reverse-postorder block sequence.
+	KindRPO Kind = iota
+	// KindDominators is the dominator tree.
+	KindDominators
+	// KindPostDominators is the post-dominator tree.
+	KindPostDominators
+	// KindLiveness is per-block live-in/live-out register sets.
+	KindLiveness
+	// KindDefUse is the register -> defining block map.
+	KindDefUse
+	// KindLoops is the natural-loop nest.
+	KindLoops
+	// KindControlDeps is the branch -> control-dependent-blocks map.
+	KindControlDeps
+
+	numKinds
+)
+
+func (k Kind) String() string {
+	switch k {
+	case KindRPO:
+		return "rpo"
+	case KindDominators:
+		return "dom"
+	case KindPostDominators:
+		return "postdom"
+	case KindLiveness:
+		return "liveness"
+	case KindDefUse:
+		return "defuse"
+	case KindLoops:
+		return "loops"
+	case KindControlDeps:
+		return "ctrldeps"
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Preserved is the set of analyses a transform keeps valid when it reports
+// a change — the PreservedAnalyses idiom. The zero value preserves nothing.
+type Preserved uint32
+
+// PreserveNone invalidates every cached analysis of the transformed function.
+const PreserveNone Preserved = 0
+
+// PreserveAll keeps every cached analysis (the transform did not touch the
+// function in any way an analysis can observe).
+func PreserveAll() Preserved { return Preserved(1<<numKinds - 1) }
+
+// PreserveCFG keeps the analyses that depend only on the block graph: RPO,
+// dominators, post-dominators, loops, and control dependence. Transforms
+// that rewrite instructions without adding, removing, or re-wiring blocks
+// (constant folding, DCE, CSE) preserve these.
+func PreserveCFG() Preserved {
+	return PreserveNone.Plus(KindRPO, KindDominators, KindPostDominators, KindLoops, KindControlDeps)
+}
+
+// Plus returns p with the given kinds additionally preserved.
+func (p Preserved) Plus(kinds ...Kind) Preserved {
+	for _, k := range kinds {
+		p |= 1 << k
+	}
+	return p
+}
+
+// Has reports whether kind k is preserved.
+func (p Preserved) Has(k Kind) bool { return p&(1<<k) != 0 }
+
+// Stats counts cache behaviour, for tests and the perf harness.
+type Stats struct {
+	Hits          uint64
+	Misses        uint64
+	Invalidations uint64
+}
+
+// funcCache holds the cached analyses of one function.
+type funcCache struct {
+	rpo      []*ir.Block
+	dom      *analysis.DomTree
+	pdom     *analysis.PostDomTree
+	live     *analysis.Liveness
+	defBlock []*ir.Block
+	loops    []*analysis.Loop
+	ctrlDeps map[*ir.Block][]*ir.Block
+	// present tracks which fields are valid (a computed-but-empty result is
+	// still a cache hit).
+	present [numKinds]bool
+}
+
+// Manager lazily computes and caches per-function analyses with explicit
+// invalidation. The zero value is not usable; construct with NewManager.
+type Manager struct {
+	mu    sync.Mutex
+	cache map[*ir.Function]*funcCache
+	stats Stats
+}
+
+// NewManager returns an empty analysis manager.
+func NewManager() *Manager {
+	return &Manager{cache: make(map[*ir.Function]*funcCache)}
+}
+
+// Ensure returns am, or a fresh Manager when am is nil. Entry points accept
+// nil managers so one-shot callers need not construct one; pipelines that
+// analyze the same function repeatedly should share a single Manager.
+func Ensure(am *Manager) *Manager {
+	if am == nil {
+		return NewManager()
+	}
+	return am
+}
+
+// Stats returns a snapshot of cache behaviour.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.stats
+}
+
+func (m *Manager) entry(f *ir.Function) *funcCache {
+	c := m.cache[f]
+	if c == nil {
+		c = &funcCache{}
+		m.cache[f] = c
+	}
+	return c
+}
+
+func (m *Manager) hit(c *funcCache, k Kind) bool {
+	if c.present[k] {
+		m.stats.Hits++
+		return true
+	}
+	m.stats.Misses++
+	c.present[k] = true
+	return false
+}
+
+// RPO returns the cached reverse postorder of f.
+func (m *Manager) RPO(f *ir.Function) []*ir.Block {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.rpo(f)
+}
+
+func (m *Manager) rpo(f *ir.Function) []*ir.Block {
+	c := m.entry(f)
+	if !m.hit(c, KindRPO) {
+		// The dominator computation produces the RPO as a by-product; reuse
+		// it when the tree is already cached.
+		if c.present[KindDominators] {
+			c.rpo = c.dom.RPO()
+		} else {
+			c.rpo = analysis.ReversePostorder(f)
+		}
+	}
+	return c.rpo
+}
+
+// Dominators returns the cached dominator tree of f.
+func (m *Manager) Dominators(f *ir.Function) *analysis.DomTree {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.dom(f)
+}
+
+func (m *Manager) dom(f *ir.Function) *analysis.DomTree {
+	c := m.entry(f)
+	if !m.hit(c, KindDominators) {
+		c.dom = analysis.Dominators(f)
+	}
+	return c.dom
+}
+
+// PostDominators returns the cached post-dominator tree of f.
+func (m *Manager) PostDominators(f *ir.Function) *analysis.PostDomTree {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.pdom(f)
+}
+
+func (m *Manager) pdom(f *ir.Function) *analysis.PostDomTree {
+	c := m.entry(f)
+	if !m.hit(c, KindPostDominators) {
+		c.pdom = analysis.PostDominators(f)
+	}
+	return c.pdom
+}
+
+// Liveness returns the cached live-in/live-out sets of f.
+func (m *Manager) Liveness(f *ir.Function) *analysis.Liveness {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindLiveness) {
+		c.live = analysis.ComputeLiveness(f)
+	}
+	return c.live
+}
+
+// DefBlocks returns the cached register -> defining block map of f.
+func (m *Manager) DefBlocks(f *ir.Function) []*ir.Block {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindDefUse) {
+		c.defBlock = analysis.DefBlock(f)
+	}
+	return c.defBlock
+}
+
+// NaturalLoops returns the cached natural-loop nest of f.
+func (m *Manager) NaturalLoops(f *ir.Function) []*analysis.Loop {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindLoops) {
+		c.loops = analysis.NaturalLoops(f, m.dom(f))
+	}
+	return c.loops
+}
+
+// ControlDependents returns the cached branch -> control-dependent-blocks
+// map of f (Ferrante/Ottenstein/Warren over the post-dominator tree).
+func (m *Manager) ControlDependents(f *ir.Function) map[*ir.Block][]*ir.Block {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindControlDeps) {
+		c.ctrlDeps = analysis.ControlDependents(f, m.pdom(f))
+	}
+	return c.ctrlDeps
+}
+
+// BackEdges returns the dominance back edges of f. The walk is linear in the
+// CFG and derived from the cached dominator tree, so it is recomputed per
+// call rather than cached.
+func (m *Manager) BackEdges(f *ir.Function) []analysis.Edge {
+	return analysis.BackEdges(f, m.Dominators(f))
+}
+
+// Invalidate drops every cached analysis of f.
+func (m *Manager) Invalidate(f *ir.Function) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.cache[f]; ok {
+		delete(m.cache, f)
+		m.stats.Invalidations++
+	}
+}
+
+// InvalidateExcept drops the cached analyses of f that are not in the
+// preserved set. InvalidateExcept(f, PreserveNone) equals Invalidate(f).
+func (m *Manager) InvalidateExcept(f *ir.Function, p Preserved) {
+	if p == PreserveAll() {
+		return
+	}
+	if p == PreserveNone {
+		m.Invalidate(f)
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.cache[f]
+	if !ok {
+		return
+	}
+	dropped := false
+	for k := Kind(0); k < numKinds; k++ {
+		if p.Has(k) || !c.present[k] {
+			continue
+		}
+		c.present[k] = false
+		dropped = true
+		switch k {
+		case KindRPO:
+			c.rpo = nil
+		case KindDominators:
+			c.dom = nil
+		case KindPostDominators:
+			c.pdom = nil
+		case KindLiveness:
+			c.live = nil
+		case KindDefUse:
+			c.defBlock = nil
+		case KindLoops:
+			c.loops = nil
+		case KindControlDeps:
+			c.ctrlDeps = nil
+		}
+	}
+	if dropped {
+		m.stats.Invalidations++
+	}
+}
+
+// Reset drops every cached analysis of every function.
+func (m *Manager) Reset() {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if len(m.cache) > 0 {
+		m.stats.Invalidations += uint64(len(m.cache))
+	}
+	m.cache = make(map[*ir.Function]*funcCache)
+}
+
+// Pass is one IR transform registered with a PassManager. Run returns the
+// resulting function — f itself for in-place transforms, a fresh function
+// for rebuilding transforms like inlining — plus whether anything changed.
+// Preserves declares which analyses of the *result* stay valid when Run
+// reports a change; it is ignored when nothing changed.
+type Pass struct {
+	Name      string
+	Run       func(f *ir.Function) (*ir.Function, bool, error)
+	Preserves Preserved
+}
+
+// PassManager runs a sequence of passes through an analysis Manager,
+// invalidating non-preserved analyses after every transform that changes
+// the IR.
+type PassManager struct {
+	am     *Manager
+	passes []Pass
+}
+
+// NewPassManager returns a pass manager bound to am (a fresh Manager when
+// am is nil).
+func NewPassManager(am *Manager) *PassManager {
+	return &PassManager{am: Ensure(am)}
+}
+
+// Manager returns the underlying analysis manager.
+func (p *PassManager) Manager() *Manager { return p.am }
+
+// Add appends passes to the pipeline and returns p for chaining.
+func (p *PassManager) Add(passes ...Pass) *PassManager {
+	p.passes = append(p.passes, passes...)
+	return p
+}
+
+// Run executes the pipeline once in order and returns the resulting
+// function. Cached analyses are invalidated per each changing pass's
+// Preserves declaration; a pass that returns a new function drops the old
+// function's cache entirely.
+func (p *PassManager) Run(f *ir.Function) (*ir.Function, error) {
+	out, _, err := p.runOnce(f)
+	return out, err
+}
+
+// RunFixedPoint executes the pipeline repeatedly until a full round reports
+// no change, then returns the resulting function.
+func (p *PassManager) RunFixedPoint(f *ir.Function) (*ir.Function, error) {
+	for {
+		out, changed, err := p.runOnce(f)
+		if err != nil {
+			return out, err
+		}
+		f = out
+		if !changed {
+			return f, nil
+		}
+	}
+}
+
+func (p *PassManager) runOnce(f *ir.Function) (*ir.Function, bool, error) {
+	changed := false
+	for _, ps := range p.passes {
+		out, ch, err := ps.Run(f)
+		if err != nil {
+			return f, changed, fmt.Errorf("pm: pass %q on %s: %w", ps.Name, f.Name, err)
+		}
+		if out == nil {
+			out = f
+		}
+		if ch {
+			changed = true
+			if out != f {
+				p.am.Invalidate(f)
+			}
+			p.am.InvalidateExcept(out, ps.Preserves)
+		}
+		f = out
+	}
+	return f, changed, nil
+}

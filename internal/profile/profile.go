@@ -12,6 +12,7 @@ import (
 	"needle/internal/ballarus"
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/pm"
 )
 
 // Edge identifies a CFG edge by block indices within one function.
@@ -75,9 +76,9 @@ type Collector struct {
 
 // NewCollector prepares profiling for f. recordTrace enables path-trace
 // capture (needed for Table III sequence analysis and the system
-// simulator).
-func NewCollector(f *ir.Function, recordTrace bool) (*Collector, error) {
-	dag, err := ballarus.Build(f)
+// simulator). Analyses are served by am (nil for a one-shot manager).
+func NewCollector(am *pm.Manager, f *ir.Function, recordTrace bool) (*Collector, error) {
+	dag, err := ballarus.Build(am, f)
 	if err != nil {
 		return nil, err
 	}
@@ -162,8 +163,8 @@ func (c *Collector) Finish() (*FunctionProfile, error) {
 // CollectFunction profiles a single invocation of f on the given arguments
 // and memory. Most workloads wrap their whole kernel in one function call,
 // so this is the common entry point.
-func CollectFunction(f *ir.Function, args []uint64, mem []uint64, recordTrace bool, maxSteps int64) (*FunctionProfile, error) {
-	c, err := NewCollector(f, recordTrace)
+func CollectFunction(am *pm.Manager, f *ir.Function, args []uint64, mem []uint64, recordTrace bool, maxSteps int64) (*FunctionProfile, error) {
+	c, err := NewCollector(am, f, recordTrace)
 	if err != nil {
 		return nil, err
 	}

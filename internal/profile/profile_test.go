@@ -47,7 +47,7 @@ func collect(t testing.TB, src string, n int64) *FunctionProfile {
 	if err != nil {
 		t.Fatalf("ParseFunction: %v", err)
 	}
-	fp, err := CollectFunction(f, []uint64{interp.IBits(n)}, nil, true, 0)
+	fp, err := CollectFunction(nil, f, []uint64{interp.IBits(n)}, nil, true, 0)
 	if err != nil {
 		t.Fatalf("CollectFunction: %v", err)
 	}
@@ -82,7 +82,7 @@ func TestWeightsPartitionDynamicInstructions(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	c, err := NewCollector(f, false)
+	c, err := NewCollector(nil, f, false)
 	if err != nil {
 		t.Fatal(err)
 	}

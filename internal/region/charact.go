@@ -1,8 +1,8 @@
 package region
 
 import (
-	"needle/internal/analysis"
 	"needle/internal/ir"
+	"needle/internal/pm"
 )
 
 // ControlFlowStats is the static characterization of one (hot) function
@@ -23,11 +23,13 @@ type ControlFlowStats struct {
 	Branches int
 }
 
-// Characterize computes the Table I statistics for a function.
-func Characterize(f *ir.Function) ControlFlowStats {
-	dom := analysis.Dominators(f)
+// Characterize computes the Table I statistics for a function. Dominator,
+// post-dominator, and control-dependence facts are served by am (nil for a
+// one-shot manager), so callers that already analyzed f pay nothing extra.
+func Characterize(am *pm.Manager, f *ir.Function) ControlFlowStats {
+	am = pm.Ensure(am)
 	stats := ControlFlowStats{
-		BackwardBranches: len(analysis.BackEdges(f, dom)),
+		BackwardBranches: len(am.BackEdges(f)),
 	}
 
 	// Map from register to defining instruction for backward slicing.
@@ -42,8 +44,7 @@ func Characterize(f *ir.Function) ControlFlowStats {
 
 	// Exact control dependence via the post-dominator tree
 	// (Ferrante/Ottenstein/Warren).
-	pdom := analysis.PostDominators(f)
-	ctrlDeps := analysis.ControlDependents(f, pdom)
+	ctrlDeps := am.ControlDependents(f)
 
 	var sumBranchMem, sumMemBranch int
 	for _, b := range f.Blocks {

@@ -1,8 +1,8 @@
 package region
 
 import (
-	"needle/internal/analysis"
 	"needle/internal/ir"
+	"needle/internal/pm"
 	"needle/internal/profile"
 )
 
@@ -43,24 +43,24 @@ type Hyperblock struct {
 // frequency — the local-decision behaviour Figure 5 charges with wasted
 // operations. BuildTunedHyperblock applies the classic inclusion heuristic
 // instead.
-func BuildHyperblock(fp *profile.FunctionProfile, entry *ir.Block, coldFraction float64) *Hyperblock {
-	return buildHyperblock(fp, entry, coldFraction, 0)
+func BuildHyperblock(am *pm.Manager, fp *profile.FunctionProfile, entry *ir.Block, coldFraction float64) *Hyperblock {
+	return buildHyperblock(am, fp, entry, coldFraction, 0)
 }
 
 // BuildTunedHyperblock excludes blocks executed less than includeFraction
 // of the entry count (side exits form there), the heuristic real
 // hyperblock compilers use to bound wasted work. Used by the Figure 2
 // design-space baseline.
-func BuildTunedHyperblock(fp *profile.FunctionProfile, entry *ir.Block, coldFraction, includeFraction float64) *Hyperblock {
-	return buildHyperblock(fp, entry, coldFraction, includeFraction)
+func BuildTunedHyperblock(am *pm.Manager, fp *profile.FunctionProfile, entry *ir.Block, coldFraction, includeFraction float64) *Hyperblock {
+	return buildHyperblock(am, fp, entry, coldFraction, includeFraction)
 }
 
-func buildHyperblock(fp *profile.FunctionProfile, entry *ir.Block, coldFraction, includeFraction float64) *Hyperblock {
+func buildHyperblock(am *pm.Manager, fp *profile.FunctionProfile, entry *ir.Block, coldFraction, includeFraction float64) *Hyperblock {
 	if coldFraction <= 0 {
 		coldFraction = 0.1
 	}
 	f := fp.F
-	dom := analysis.Dominators(f)
+	dom := pm.Ensure(am).Dominators(f)
 	isBack := func(u, v *ir.Block) bool { return dom.Dominates(v, u) }
 
 	set := map[*ir.Block]bool{entry: true}

@@ -8,8 +8,8 @@ import (
 	"fmt"
 	"sort"
 
-	"needle/internal/analysis"
 	"needle/internal/ir"
+	"needle/internal/pm"
 	"needle/internal/profile"
 )
 
@@ -121,8 +121,9 @@ func (r *Region) PhiCancel() int {
 // LiveValues computes the live-in and live-out registers of the region
 // (the ↓,↑ columns): live-ins are registers read inside the region but
 // defined outside it (parameters included); live-outs are registers defined
-// inside the region that are consumed after it.
-func (r *Region) LiveValues() (liveIn, liveOut []ir.Reg) {
+// inside the region that are consumed after it. Function liveness is served
+// by am (nil for a one-shot manager).
+func (r *Region) LiveValues(am *pm.Manager) (liveIn, liveOut []ir.Reg) {
 	defsIn := make(map[ir.Reg]bool)
 	for _, b := range r.Blocks {
 		for _, in := range b.Instrs {
@@ -153,7 +154,7 @@ func (r *Region) LiveValues() (liveIn, liveOut []ir.Reg) {
 		}
 	}
 
-	lv := analysis.ComputeLiveness(r.F)
+	lv := pm.Ensure(am).Liveness(r.F)
 	outSet := make(map[ir.Reg]bool)
 	// A region-defined value is live-out if it is live on any edge leaving
 	// the region (including the exit block's successors).

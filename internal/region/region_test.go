@@ -19,7 +19,7 @@ func parse(t testing.TB, src string) *ir.Function {
 
 func collect(t testing.TB, f *ir.Function, args ...uint64) *profile.FunctionProfile {
 	t.Helper()
-	fp, err := profile.CollectFunction(f, args, nil, true, 0)
+	fp, err := profile.CollectFunction(nil, f, args, nil, true, 0)
 	if err != nil {
 		t.Fatalf("CollectFunction: %v", err)
 	}
@@ -130,7 +130,7 @@ func TestLiveValues(t *testing.T) {
 	fp := collect(t, f, interp.IBits(100))
 	hot := fp.HottestPath() // iteration path starting at head
 	r := FromPath(f, hot)
-	liveIn, liveOut := r.LiveValues()
+	liveIn, liveOut := r.LiveValues(nil)
 	// Live-ins include the loop bound r1 and the phi inputs (r2 consts from
 	// entry plus r9/r10 from latch — but r9/r10 are defined inside latch,
 	// which is in the region, so the cross-iteration values come in via the
@@ -277,7 +277,7 @@ func TestSuperblockStopsAtMinBias(t *testing.T) {
 func TestHyperblock(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
 	fp := collect(t, f, interp.IBits(100))
-	hb := BuildHyperblock(fp, f.BlockByName("body"), 0.1)
+	hb := BuildHyperblock(nil, fp, f.BlockByName("body"), 0.1)
 	// Region: body, rare, latch (latch joins, both preds inside).
 	if !hb.Contains(f.BlockByName("rare")) || !hb.Contains(f.BlockByName("latch")) {
 		t.Fatalf("hyperblock missing blocks: %v", hb.Blocks)
@@ -298,7 +298,7 @@ func TestHyperblockColdOps(t *testing.T) {
 	// Run long enough that rare executes 25% of iterations: with
 	// coldFraction 0.5, rare (25%) is cold.
 	fp := collect(t, f, interp.IBits(100))
-	hb := BuildHyperblock(fp, f.BlockByName("body"), 0.5)
+	hb := BuildHyperblock(nil, fp, f.BlockByName("body"), 0.5)
 	if hb.ColdOps == 0 {
 		t.Error("expected cold ops from the rare block")
 	}
@@ -333,7 +333,7 @@ exit:
 }
 `
 	f := parse(t, src)
-	st := Characterize(f)
+	st := Characterize(nil, f)
 	if st.Branches != 2 || st.PredicationBits != 2 {
 		t.Fatalf("branches=%d predbits=%d, want 2,2", st.Branches, st.PredicationBits)
 	}
@@ -365,8 +365,8 @@ func TestKindString(t *testing.T) {
 func TestTunedHyperblockExcludesColdBlocks(t *testing.T) {
 	f := parse(t, loopDiamondSrc)
 	fp := collect(t, f, interp.IBits(100))
-	naive := BuildHyperblock(fp, f.BlockByName("body"), 0.5)
-	tuned := BuildTunedHyperblock(fp, f.BlockByName("body"), 0.5, 0.5)
+	naive := BuildHyperblock(nil, fp, f.BlockByName("body"), 0.5)
+	tuned := BuildTunedHyperblock(nil, fp, f.BlockByName("body"), 0.5, 0.5)
 	// rare runs 25% of iterations: excluded at a 50% inclusion threshold.
 	if !naive.Contains(f.BlockByName("rare")) {
 		t.Fatal("naive hyperblock should include the rare block")

@@ -17,6 +17,7 @@ import (
 	"needle/internal/ir"
 	"needle/internal/mem"
 	"needle/internal/ooo"
+	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/spec"
@@ -57,6 +58,11 @@ type Trace struct {
 	Profile *profile.FunctionProfile
 	Occ     []Occurrence
 
+	// AM is the analysis manager the capture used; target construction and
+	// evaluation against this trace reuse it, so dominators/liveness for the
+	// traced function are computed once per trace.
+	AM *pm.Manager
+
 	BaselineCycles   int64
 	BaselineEnergyPJ float64
 	Mix              ooo.OpMix
@@ -65,9 +71,12 @@ type Trace struct {
 
 // Capture runs the workload function once on the modeled host, collecting
 // the path profile, per-occurrence cycle attribution, branch history
-// snapshots, and the host energy baseline.
-func Capture(f *ir.Function, args []uint64, memory []uint64, cfg Config) (*Trace, error) {
-	collector, err := profile.NewCollector(f, true)
+// snapshots, and the host energy baseline. Analyses are served by am (nil
+// for a one-shot manager); the trace keeps the manager for downstream
+// target evaluation.
+func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg Config) (*Trace, error) {
+	am = pm.Ensure(am)
+	collector, err := profile.NewCollector(am, f, true)
 	if err != nil {
 		return nil, err
 	}
@@ -75,7 +84,7 @@ func Capture(f *ir.Function, args []uint64, memory []uint64, cfg Config) (*Trace
 	model := ooo.New(cfg.OOO, f.NumRegs(), cache)
 	hist := &spec.HistoryTracker{}
 
-	tr := &Trace{}
+	tr := &Trace{AM: am}
 	var lastCycles int64
 	var histBefore uint64
 	// The collector's profiler fires OnPath at every completion; snapshot
@@ -123,9 +132,9 @@ type Target struct {
 }
 
 // NewPathTarget builds the offload target for a single BL-Path region.
-func NewPathTarget(fp *profile.FunctionProfile, p *profile.Path, cfg Config) (*Target, error) {
+func NewPathTarget(am *pm.Manager, fp *profile.FunctionProfile, p *profile.Path, cfg Config) (*Target, error) {
 	r := region.FromPath(fp.F, p)
-	return newTarget(fp, r, map[int64]bool{p.ID: true}, cfg)
+	return newTarget(am, fp, r, map[int64]bool{p.ID: true}, cfg)
 }
 
 // NewBraidTarget builds the offload target for a braid. Any executed path
@@ -133,12 +142,12 @@ func NewPathTarget(fp *profile.FunctionProfile, p *profile.Path, cfg Config) (*T
 // the braid's blocks completes on the accelerator — including block
 // combinations never seen during profiling, the coverage bonus of
 // Section IV-B.
-func NewBraidTarget(fp *profile.FunctionProfile, br *region.Braid, cfg Config) (*Target, error) {
+func NewBraidTarget(am *pm.Manager, fp *profile.FunctionProfile, br *region.Braid, cfg Config) (*Target, error) {
 	accepts := make(map[int64]bool)
 	for _, p := range fp.Paths {
 		accepts[p.ID] = braidAccepts(br, p)
 	}
-	return newTarget(fp, &br.Region, accepts, cfg)
+	return newTarget(am, fp, &br.Region, accepts, cfg)
 }
 
 func braidAccepts(br *region.Braid, p *profile.Path) bool {
@@ -156,8 +165,8 @@ func braidAccepts(br *region.Braid, p *profile.Path) bool {
 	return true
 }
 
-func newTarget(fp *profile.FunctionProfile, r *region.Region, accepts map[int64]bool, cfg Config) (*Target, error) {
-	fr, err := frame.Build(r, cfg.Frame)
+func newTarget(am *pm.Manager, fp *profile.FunctionProfile, r *region.Region, accepts map[int64]bool, cfg Config) (*Target, error) {
+	fr, err := frame.Build(am, r, cfg.Frame)
 	if err != nil {
 		return nil, err
 	}
@@ -305,7 +314,7 @@ func EvaluateHottestPath(tr *Trace, cfg Config) (oracle, history Result, err err
 	if hot == nil {
 		return oracle, history, fmt.Errorf("sim: no executed paths")
 	}
-	tgt, err := NewPathTarget(tr.Profile, hot, cfg)
+	tgt, err := NewPathTarget(tr.AM, tr.Profile, hot, cfg)
 	if err != nil {
 		return oracle, history, err
 	}
@@ -325,7 +334,7 @@ func EvaluateHottestBraid(tr *Trace, cfg Config) (Result, *region.Braid, error) 
 		return Result{}, nil, fmt.Errorf("sim: no braids")
 	}
 	br := braids[0]
-	tgt, err := NewBraidTarget(tr.Profile, br, cfg)
+	tgt, err := NewBraidTarget(tr.AM, tr.Profile, br, cfg)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -341,7 +350,7 @@ func EvaluateBraidAlways(tr *Trace, cfg Config) (Result, *region.Braid, error) {
 		return Result{}, nil, fmt.Errorf("sim: no braids")
 	}
 	br := braids[0]
-	tgt, err := NewBraidTarget(tr.Profile, br, cfg)
+	tgt, err := NewBraidTarget(tr.AM, tr.Profile, br, cfg)
 	if err != nil {
 		return Result{}, nil, err
 	}
@@ -380,7 +389,7 @@ func SelectBraid(tr *Trace, cfg Config, topK int) (Candidate, error) {
 	}
 	for i := 0; i < topK && i < len(braids); i++ {
 		br := braids[i]
-		tgt, err := NewBraidTarget(tr.Profile, br, cfg)
+		tgt, err := NewBraidTarget(tr.AM, tr.Profile, br, cfg)
 		if err != nil {
 			continue // e.g. unframeable region; skip candidate
 		}
@@ -411,14 +420,14 @@ func SelectPath(tr *Trace, cfg Config, topK int) (history, oracle Result, err er
 		topK = 3
 	}
 	hot := tr.Profile.HottestPath()
-	tgt, err := NewPathTarget(tr.Profile, hot, cfg)
+	tgt, err := NewPathTarget(tr.AM, tr.Profile, hot, cfg)
 	if err != nil {
 		return history, oracle, err
 	}
 	oracle = Evaluate(tr, tgt, &spec.Oracle{}, cfg)
 	history = Evaluate(tr, tgt, spec.NewHistory(cfg.HistBits), cfg)
 	for i := 1; i < topK && i < len(tr.Profile.Paths); i++ {
-		t2, err := NewPathTarget(tr.Profile, tr.Profile.Paths[i], cfg)
+		t2, err := NewPathTarget(tr.AM, tr.Profile, tr.Profile.Paths[i], cfg)
 		if err != nil {
 			continue
 		}
@@ -436,7 +445,7 @@ func SelectPath(tr *Trace, cfg Config, topK int) (history, oracle Result, err er
 // Figure 2's middle column: the hyperblock executes all its (predicated)
 // operations on every invocation, cannot fail or roll back, and is invoked
 // only for flows it fully contains — everything else stays on the host.
-func NewHyperblockTarget(fp *profile.FunctionProfile, hb *region.Hyperblock, cfg Config) (*Target, error) {
+func NewHyperblockTarget(am *pm.Manager, fp *profile.FunctionProfile, hb *region.Hyperblock, cfg Config) (*Target, error) {
 	accepts := make(map[int64]bool)
 	for _, p := range fp.Paths {
 		ok := len(p.Blocks) > 0 && p.Blocks[0] == hb.Entry
@@ -448,7 +457,7 @@ func NewHyperblockTarget(fp *profile.FunctionProfile, hb *region.Hyperblock, cfg
 		}
 		accepts[p.ID] = ok
 	}
-	fr, err := frame.Build(&hb.Region, cfg.Frame)
+	fr, err := frame.Build(am, &hb.Region, cfg.Frame)
 	if err != nil {
 		return nil, err
 	}
@@ -472,8 +481,8 @@ func EvaluateHyperblock(tr *Trace, cfg Config, coldFraction float64) (Result, er
 	if hot == nil {
 		return Result{}, fmt.Errorf("sim: no executed paths")
 	}
-	hb := region.BuildTunedHyperblock(tr.Profile, hot.Blocks[0], coldFraction, 0.05)
-	tgt, err := NewHyperblockTarget(tr.Profile, hb, cfg)
+	hb := region.BuildTunedHyperblock(tr.AM, tr.Profile, hot.Blocks[0], coldFraction, 0.05)
+	tgt, err := NewHyperblockTarget(tr.AM, tr.Profile, hb, cfg)
 	if err != nil {
 		return Result{}, err
 	}

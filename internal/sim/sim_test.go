@@ -16,7 +16,7 @@ func capture(t testing.TB, name string, n int) *Trace {
 		t.Fatalf("unknown workload %s", name)
 	}
 	f, args, memory := w.Instance(n)
-	tr, err := Capture(f, args, memory, DefaultConfig())
+	tr, err := Capture(nil, f, args, memory, DefaultConfig())
 	if err != nil {
 		t.Fatalf("Capture(%s): %v", name, err)
 	}
@@ -105,7 +105,7 @@ func TestEvaluateAccountsFailures(t *testing.T) {
 	tr := capture(t, "bodytrack", 1200)
 	cfg := DefaultConfig()
 	hot := tr.Profile.HottestPath()
-	tgt, err := NewPathTarget(tr.Profile, hot, cfg)
+	tgt, err := NewPathTarget(nil, tr.Profile, hot, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -194,16 +194,16 @@ func TestFunctionalOffloadMatchesPureExecution(t *testing.T) {
 			// functional offload run.
 			_, args2, memProfile := w.Instance(900)
 			cfg := DefaultConfig()
-			tr, err := Capture(f, args2, memProfile, cfg)
+			tr, err := Capture(nil, f, args2, memProfile, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
 			var tgt *Target
 			if tc.braid {
 				braids := region.BuildBraids(tr.Profile, 0)
-				tgt, err = NewBraidTarget(tr.Profile, braids[0], cfg)
+				tgt, err = NewBraidTarget(nil, tr.Profile, braids[0], cfg)
 			} else {
-				tgt, err = NewPathTarget(tr.Profile, tr.Profile.HottestPath(), cfg)
+				tgt, err = NewPathTarget(nil, tr.Profile, tr.Profile.HottestPath(), cfg)
 			}
 			if err != nil {
 				t.Fatal(err)

@@ -49,13 +49,13 @@ func buildHotFrame(t testing.TB, mem []uint64) (*ir.Function, *frame.Frame) {
 	}
 	work := make([]uint64, len(mem))
 	copy(work, mem)
-	fp, err := profile.CollectFunction(f,
+	fp, err := profile.CollectFunction(nil, f,
 		[]uint64{interp.IBits(0), interp.IBits(int64(len(mem)))}, work, true, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
 	hot := fp.HottestPath()
-	fr, err := frame.Build(region.FromPath(f, hot), frame.Options{})
+	fr, err := frame.Build(nil, region.FromPath(f, hot), frame.Options{})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -23,9 +23,17 @@ type Suite struct {
 	Analyses []*core.Analysis
 }
 
-// Run analyzes every workload at the configured problem size.
+// Run analyzes every workload at the configured problem size with the
+// default degree of parallelism (GOMAXPROCS).
 func Run(cfg core.Config) (*Suite, error) {
-	as, err := core.AnalyzeAll(cfg)
+	return RunJobs(cfg, 0)
+}
+
+// RunJobs analyzes every workload on a bounded pool of `jobs` workers
+// (GOMAXPROCS when jobs <= 0, serial when jobs == 1). Row order and values
+// are identical regardless of jobs.
+func RunJobs(cfg core.Config, jobs int) (*Suite, error) {
+	as, err := core.AnalyzeAllJobs(cfg, jobs)
 	if err != nil {
 		return nil, err
 	}
@@ -241,7 +249,7 @@ func (s *Suite) TableIV() string {
 			merged += float64(br.MergedPathCount())
 		}
 		merged /= float64(len(a.Braids))
-		liveIn, liveOut := top.LiveValues()
+		liveIn, liveOut := top.LiveValues(a.AM)
 		fmt.Fprintf(&sb, "%-20s %8d %7.1f %5.0f%% %6d %4d %4d %4d,%-4d\n",
 			a.Workload.Name, len(a.Braids), merged, top.Coverage(a.Profile)*100,
 			top.NumOps(), top.Guards, top.IFs, len(liveIn), len(liveOut))
@@ -292,7 +300,7 @@ func compoundFUImprovement(a *core.Analysis) float64 {
 	if hot == nil || hotCount == 0 || hot.NumOps() == 0 {
 		return 0
 	}
-	fr, err := frame.Build(region.FromBlock(fp.F, hot), a.Config.Sim.Frame)
+	fr, err := frame.Build(a.AM, region.FromBlock(fp.F, hot), a.Config.Sim.Frame)
 	if err != nil {
 		return 0
 	}

@@ -173,3 +173,41 @@ func TestDefaultScaleSoak(t *testing.T) {
 		t.Errorf("mean energy reduction %.1f%% outside the expected band", energy*100)
 	}
 }
+
+// TestParallelMatchesSerial runs the full sweep with a worker pool and
+// checks every rendered table and figure is byte-identical to the serial
+// result. Run under -race this also exercises the harness's concurrency.
+func TestParallelMatchesSerial(t *testing.T) {
+	cfg := core.DefaultConfig()
+	cfg.N = 1500
+	serial, err := RunJobs(cfg, 1)
+	if err != nil {
+		t.Fatalf("serial RunJobs: %v", err)
+	}
+	par, err := RunJobs(cfg, 4)
+	if err != nil {
+		t.Fatalf("parallel RunJobs: %v", err)
+	}
+	if len(serial.Analyses) != len(par.Analyses) {
+		t.Fatalf("analysis counts differ: %d vs %d", len(serial.Analyses), len(par.Analyses))
+	}
+	for i := range serial.Analyses {
+		if serial.Analyses[i].Workload.Name != par.Analyses[i].Workload.Name {
+			t.Fatalf("row %d order differs: %s vs %s",
+				i, serial.Analyses[i].Workload.Name, par.Analyses[i].Workload.Name)
+		}
+	}
+	renders := map[string]func(*Suite) string{
+		"TableI": (*Suite).TableI, "TableII": (*Suite).TableII,
+		"TableIII": (*Suite).TableIII, "TableIV": (*Suite).TableIV,
+		"TableV": (*Suite).TableV, "TableHLS": (*Suite).TableHLS,
+		"Figure2": (*Suite).Figure2, "Figure4": (*Suite).Figure4,
+		"Figure5": (*Suite).Figure5, "Figure6": (*Suite).Figure6,
+		"Figure9": (*Suite).Figure9, "Figure10": (*Suite).Figure10,
+	}
+	for name, fn := range renders {
+		if got, want := fn(par), fn(serial); got != want {
+			t.Errorf("%s differs between parallel and serial runs", name)
+		}
+	}
+}

@@ -12,6 +12,7 @@ package workloads
 import (
 	"fmt"
 	"math/rand"
+	"sync"
 
 	"needle/internal/ir"
 )
@@ -42,14 +43,15 @@ type Workload struct {
 	// arguments for a problem size.
 	Setup func(mem []uint64, n int) []uint64
 
-	cached *ir.Function
+	buildOnce sync.Once
+	cached    *ir.Function
 }
 
 // Function returns the kernel's hot function, building it on first use.
+// Safe for concurrent callers: the parallel harness may analyze many
+// workloads at once.
 func (w *Workload) Function() *ir.Function {
-	if w.cached == nil {
-		w.cached = w.Build()
-	}
+	w.buildOnce.Do(func() { w.cached = w.Build() })
 	return w.cached
 }
 

@@ -24,7 +24,7 @@ func prof(t testing.TB, name string, n int) *profile.FunctionProfile {
 		t.Fatalf("unknown workload %q", name)
 	}
 	f, args, mem := w.Instance(n)
-	fp, err := profile.CollectFunction(f, args, mem, true, 0)
+	fp, err := profile.CollectFunction(nil, f, args, mem, true, 0)
 	if err != nil {
 		t.Fatalf("profile %s: %v", name, err)
 	}

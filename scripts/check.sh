@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the repo's full verification gate. Run before every commit:
+#
+#   ./scripts/check.sh        (or: make check)
+#
+# Fails on unformatted files, vet diagnostics, build errors, or any test
+# failure (the suite runs under the race detector to exercise the parallel
+# analysis harness).
+set -eu
+
+cd "$(dirname "$0")/.."
+
+unformatted=$(gofmt -l . 2>&1)
+if [ -n "$unformatted" ]; then
+    echo "gofmt: unformatted files:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+echo "gofmt  ok"
+
+go vet ./...
+echo "vet    ok"
+
+go build ./...
+echo "build  ok"
+
+go test -race ./...
+echo "tests  ok"
