@@ -1,4 +1,4 @@
-.PHONY: check build test bench
+.PHONY: check build test bench bench-json
 
 check:
 	./scripts/check.sh
@@ -9,5 +9,10 @@ build:
 test:
 	go test ./...
 
+# bench runs the sweep benchmarks, writes BENCH_<date>.json, and fails if
+# BenchmarkSweep regresses >15% against scripts/bench_baseline.json.
 bench:
+	./scripts/bench.sh
+
+bench-json:
 	go run ./cmd/needle -bench-json

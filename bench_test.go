@@ -134,6 +134,26 @@ func BenchmarkFigure10(b *testing.B) {
 	b.ReportMetric(energyMean*100, "energy-%")
 }
 
+// BenchmarkSweep runs the full 29-workload analysis sweep per iteration:
+// profile every workload (block, edge, and Ball-Larus path counts plus the
+// path trace), pick paths and braids, build frames, and evaluate offload.
+// This is the end-to-end number the compiled-plan fast path targets;
+// scripts/bench.sh gates regressions against its checked-in baseline.
+func BenchmarkSweep(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.N = benchN
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := tables.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(s.Analyses) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+}
+
 // ---- micro-benchmarks of the pipeline building blocks ----
 
 // BenchmarkInterpreter measures raw interpretation throughput.

@@ -325,6 +325,40 @@ func (d *DAG) Encode(blocks []*ir.Block) (int64, error) {
 	return 0, fmt.Errorf("ballarus: %s is not a valid path end", last.Name)
 }
 
+// CompilePlan overlays this DAG's path numbering onto a compiled execution
+// plan for the same function, producing the per-successor-slot edge
+// annotations interp.RunPlan consumes. The overlay is a separate object so
+// the structural Plan cached by the analysis manager stays immutable and
+// shareable. Edges absent from the numbering (out of unreachable blocks)
+// get a zero annotation, matching the hook-path behaviour of leaving the
+// path register untouched.
+func (d *DAG) CompilePlan(p *interp.Plan) *interp.BLPlan {
+	if p.F() != d.F {
+		panic("ballarus: CompilePlan called with a plan for a different function")
+	}
+	n := len(d.F.Blocks)
+	bl := &interp.BLPlan{
+		EntryVal: d.entryVal,
+		NumPaths: d.numPaths,
+		Succs:    make([][2]interp.BLEdge, n),
+		RetVal:   make([]int64, n),
+	}
+	for i := 0; i < n; i++ {
+		if v, ok := d.retVal[i]; ok {
+			bl.RetVal[i] = v
+		}
+		for k := 0; k < p.NumSuccs(i); k++ {
+			key := edgeKey{i, p.Succ(i, k)}
+			if bi, ok := d.backVal[key]; ok {
+				bl.Succs[i][k] = interp.BLEdge{Inc: bi.exitVal, Reset: bi.resetVal, Flush: true}
+			} else if v, ok := d.normVal[key]; ok {
+				bl.Succs[i][k] = interp.BLEdge{Inc: v}
+			}
+		}
+	}
+	return bl
+}
+
 // Profiler accumulates a Ball-Larus path profile while a function executes.
 // Attach it to the interpreter via Hooks. A single Profiler may observe many
 // invocations of the same function.
@@ -343,16 +377,24 @@ type Profiler struct {
 
 	cur    int64
 	inside bool
-	member map[*ir.Block]bool
+	// member is dense by Block.Index with an identity check: callee blocks
+	// carry their own (overlapping) index ranges, so the index alone is not
+	// enough, but the compare replaces a map lookup per event.
+	member []*ir.Block
 }
 
 // NewProfiler creates a profiler for the function described by dag.
 func NewProfiler(dag *DAG) *Profiler {
-	member := make(map[*ir.Block]bool, len(dag.F.Blocks))
+	member := make([]*ir.Block, len(dag.F.Blocks))
 	for _, b := range dag.F.Blocks {
-		member[b] = true
+		member[b.Index] = b
 	}
 	return &Profiler{dag: dag, Counts: make(map[int64]int64), member: member}
+}
+
+// isMember reports whether b belongs to the profiled function.
+func (p *Profiler) isMember(b *ir.Block) bool {
+	return b.Index < len(p.member) && p.member[b.Index] == b
 }
 
 // DAG returns the underlying path numbering.
@@ -383,7 +425,7 @@ func (p *Profiler) Hooks() *interp.Hooks {
 			}
 		},
 		Edge: func(from, to *ir.Block) {
-			if !p.inside || !p.member[from] {
+			if !p.inside || !p.isMember(from) {
 				return
 			}
 			if bi, ok := p.dag.backVal[edgeKey{from.Index, to.Index}]; ok {
@@ -396,7 +438,7 @@ func (p *Profiler) Hooks() *interp.Hooks {
 			}
 		},
 		Exit: func(from *ir.Block) {
-			if !p.inside || !p.member[from] {
+			if !p.inside || !p.isMember(from) {
 				return
 			}
 			if v, ok := p.dag.retVal[from.Index]; ok {

@@ -455,19 +455,34 @@ func braidDependentMemOps(r *region.Region) int {
 	if len(r.Paths) == 0 {
 		return 0
 	}
-	onAll := make(map[*ir.Block]int)
+	// Dense per-block counters indexed by Block.Index (all blocks belong to
+	// one function, so indices are unique here).
+	maxIdx := 0
+	for _, b := range r.Blocks {
+		if b.Index > maxIdx {
+			maxIdx = b.Index
+		}
+	}
 	for _, p := range r.Paths {
-		seen := make(map[*ir.Block]bool)
 		for _, b := range p.Blocks {
-			if !seen[b] {
-				seen[b] = true
-				onAll[b]++
+			if b.Index > maxIdx {
+				maxIdx = b.Index
+			}
+		}
+	}
+	onAll := make([]int, maxIdx+1)
+	lastSeen := make([]int, maxIdx+1)
+	for i, p := range r.Paths {
+		for _, b := range p.Blocks {
+			if lastSeen[b.Index] != i+1 {
+				lastSeen[b.Index] = i + 1
+				onAll[b.Index]++
 			}
 		}
 	}
 	n := 0
 	for _, b := range r.Blocks {
-		if onAll[b] == len(r.Paths) {
+		if onAll[b.Index] == len(r.Paths) {
 			continue
 		}
 		for _, in := range b.Instrs {

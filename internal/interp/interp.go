@@ -134,6 +134,9 @@ func (ex *executor) exec(f *ir.Function, args []uint64, depth int) (uint64, erro
 			for i, phi := range phis {
 				regs[phi.Dst] = phiTmp[i]
 				ex.steps++
+				if ex.steps > ex.maxSteps {
+					return 0, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, ex.maxSteps, f.Name)
+				}
 				if hooks.Instr != nil {
 					hooks.Instr(phi)
 				}
@@ -432,12 +435,34 @@ func CombineHooks(hooks ...*Hooks) *Hooks {
 // between steps. Hooks fire Edge/Exit events (no Block/Instr events, which
 // block-level drivers do not need).
 func StepBlock(f *ir.Function, cur, prev *ir.Block, regs, mem []uint64, hooks *Hooks) (next *ir.Block, ret uint64, returned bool, err error) {
+	var bx BlockExec
+	return bx.Step(f, cur, prev, regs, mem, hooks)
+}
+
+// BlockExec holds the scratch buffers StepBlock needs, so drivers that step
+// many blocks (sim.FunctionalOffload) reuse one allocation instead of
+// allocating a phi temp slice and call-argument slice per block. The zero
+// value is ready to use; a BlockExec must not be shared across goroutines.
+type BlockExec struct {
+	phiTmp   []uint64
+	callArgs []uint64
+}
+
+// Step executes exactly one basic block with the semantics of StepBlock,
+// reusing the BlockExec's scratch buffers.
+func (bx *BlockExec) Step(f *ir.Function, cur, prev *ir.Block, regs, mem []uint64, hooks *Hooks) (next *ir.Block, ret uint64, returned bool, err error) {
 	if hooks == nil {
 		hooks = &Hooks{}
 	}
 	phis := cur.Phis()
 	if len(phis) > 0 {
-		tmp := make([]uint64, len(phis))
+		tmp := bx.phiTmp
+		if cap(tmp) < len(phis) {
+			tmp = make([]uint64, len(phis))
+			bx.phiTmp = tmp
+		} else {
+			tmp = tmp[:len(phis)]
+		}
 		for i, phi := range phis {
 			idx := -1
 			for k, from := range phi.Blocks {
@@ -483,7 +508,13 @@ func StepBlock(f *ir.Function, cur, prev *ir.Block, regs, mem []uint64, hooks *H
 			}
 			return nil, v, true, nil
 		case ir.OpCall:
-			callArgs := make([]uint64, len(in.Args))
+			callArgs := bx.callArgs
+			if cap(callArgs) < len(in.Args) {
+				callArgs = make([]uint64, len(in.Args))
+				bx.callArgs = callArgs
+			} else {
+				callArgs = callArgs[:len(in.Args)]
+			}
 			for i, a := range in.Args {
 				callArgs[i] = regs[a]
 			}

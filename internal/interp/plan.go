@@ -1,0 +1,595 @@
+// Compiled execution plans: a per-function "plan" precomputes everything the
+// interpreter's inner loop otherwise rediscovers on every iteration — phi
+// move tables per (predecessor, block) pair, flattened per-block instruction
+// arrays, and dense successor-slot tables — so the profiling fast path
+// (RunProfiled) can collect block counts, edge counts, Ball-Larus path counts,
+// and the path trace by direct array increments with zero hook closures.
+//
+// The plan plays the role the instrumented binary plays in the original
+// Needle system: the Ball-Larus instrumentation is "a handful of adds per
+// edge", and the plan brings the reproduction's profiling cost to the same
+// shape. The hook-based Run remains the fully-general slow path and the
+// differential-testing oracle (see profile's fast-path property tests).
+package interp
+
+import (
+	"fmt"
+	"math"
+
+	"needle/internal/ir"
+)
+
+func b2u(v bool) uint64 {
+	if v {
+		return 1
+	}
+	return 0
+}
+
+// Terminator kinds of a planned block.
+const (
+	termBr   = iota // unconditional branch: succ slot 0
+	termCond        // conditional branch: slot 0 taken, slot 1 fall-through
+	termRet         // function return
+)
+
+// phiMove is one precompiled phi assignment: dst receives src when control
+// arrives over the move table's edge.
+type phiMove struct {
+	dst, src ir.Reg
+}
+
+// planSucc is one successor slot of a planned block.
+type planSucc struct {
+	to       int32 // target block index
+	edgeSlot int32 // dense edge-counter index (parallel edges share a slot)
+	predSlot int32 // index of this edge's source in the target's move tables
+	taken    uint8 // 1 when this slot is Blocks[0] of the terminator
+}
+
+// planBlock is the flattened form of one basic block.
+type planBlock struct {
+	phis []*ir.Instr // phi prefix (kept for timing-model feeds)
+	body []*ir.Instr // non-phi, non-terminator instructions
+	term *ir.Instr   // the terminator
+	// moves[predSlot] lists the phi assignments to perform when control
+	// arrives from the predSlot-th unique predecessor. A nil entry for a
+	// block with phis reproduces the interpreter's missing-edge error.
+	moves   [][]phiMove
+	succs   [2]planSucc
+	kind    uint8
+	condReg ir.Reg // condition register for termCond
+	retReg  ir.Reg // returned register for termRet (NoReg for void)
+}
+
+// Plan is the compiled execution plan of one function. Plans are immutable
+// once built and safe for concurrent use; they are cached per function by
+// pm.Manager (KindExecPlan) and invalidated with the CFG.
+type Plan struct {
+	f        *ir.Function
+	blocks   []planBlock
+	preds    [][]*ir.Block // unique predecessors per block, for error paths
+	edgeFrom []int32       // dense edge slot -> source block index
+	edgeTo   []int32       // dense edge slot -> target block index
+	maxPhis  int
+	runnable bool
+}
+
+// BuildPlan compiles f into a Plan. Building always succeeds; Runnable
+// reports whether the fast path may execute it (call-free, verified shape).
+func BuildPlan(f *ir.Function) *Plan {
+	p := &Plan{f: f, runnable: true}
+	if len(f.Blocks) == 0 {
+		p.runnable = false
+		return p
+	}
+	// The fast path resolves entry phis against no predecessor, which the
+	// general interpreter reports as a runtime error; decline such plans so
+	// callers keep the hook path's behaviour.
+	if len(f.Entry().Phis()) > 0 {
+		p.runnable = false
+	}
+	p.blocks = make([]planBlock, len(f.Blocks))
+	p.preds = make([][]*ir.Block, len(f.Blocks))
+
+	// Unique predecessor lists index the phi move tables.
+	for i, b := range f.Blocks {
+		seen := make(map[*ir.Block]bool, len(b.Preds))
+		for _, pr := range b.Preds {
+			if !seen[pr] {
+				seen[pr] = true
+				p.preds[i] = append(p.preds[i], pr)
+			}
+		}
+	}
+	predSlotOf := func(to *ir.Block, from *ir.Block) int32 {
+		for k, pr := range p.preds[to.Index] {
+			if pr == from {
+				return int32(k)
+			}
+		}
+		return -1
+	}
+
+	for i, b := range f.Blocks {
+		pb := &p.blocks[i]
+		phis := b.Phis()
+		pb.phis = phis
+		if len(phis) > p.maxPhis {
+			p.maxPhis = len(phis)
+		}
+		term := b.Term()
+		if term == nil {
+			p.runnable = false
+			continue
+		}
+		pb.term = term
+		pb.body = b.Instrs[len(phis) : len(b.Instrs)-1]
+		for _, in := range pb.body {
+			// Calls recurse through the general executor and fire hook events
+			// for callee blocks; a mid-block terminator would cut the body
+			// short. Either shape sends callers to the hook path.
+			if in.Op == ir.OpCall || in.Op.IsTerminator() {
+				p.runnable = false
+			}
+		}
+
+		// Move tables: for each unique predecessor, the parallel-copy the
+		// phi prefix performs. A phi lacking an incoming edge leaves a nil
+		// table, reproducing the interpreter's runtime error on traversal.
+		if len(phis) > 0 {
+			pb.moves = make([][]phiMove, len(p.preds[i]))
+			for slot, pr := range p.preds[i] {
+				moves := make([]phiMove, 0, len(phis))
+				ok := true
+				for _, phi := range phis {
+					idx := -1
+					for k, from := range phi.Blocks {
+						if from == pr {
+							idx = k
+							break
+						}
+					}
+					if idx < 0 {
+						ok = false
+						break
+					}
+					moves = append(moves, phiMove{dst: phi.Dst, src: phi.Args[idx]})
+				}
+				if ok {
+					pb.moves[slot] = moves
+				}
+			}
+		}
+
+		switch term.Op {
+		case ir.OpRet:
+			pb.kind = termRet
+			pb.retReg = ir.NoReg
+			if len(term.Args) == 1 {
+				pb.retReg = term.Args[0]
+			}
+		case ir.OpBr, ir.OpCondBr:
+			if term.Op == ir.OpBr {
+				pb.kind = termBr
+			} else {
+				pb.kind = termCond
+				pb.condReg = term.Args[0]
+			}
+			for k, target := range term.Blocks {
+				slot := int32(len(p.edgeFrom))
+				// Parallel condbr edges (both targets identical) are one CFG
+				// edge: reuse the slot allocated for the first arm.
+				if k == 1 && term.Blocks[0] == target {
+					slot = p.blocks[i].succs[0].edgeSlot
+				} else {
+					p.edgeFrom = append(p.edgeFrom, int32(i))
+					p.edgeTo = append(p.edgeTo, int32(target.Index))
+				}
+				taken := uint8(0)
+				if term.Blocks[0] == target {
+					taken = 1
+				}
+				pb.succs[k] = planSucc{
+					to:       int32(target.Index),
+					edgeSlot: slot,
+					predSlot: predSlotOf(target, b),
+					taken:    taken,
+				}
+			}
+		default:
+			p.runnable = false
+		}
+	}
+	return p
+}
+
+// F returns the planned function.
+func (p *Plan) F() *ir.Function { return p.f }
+
+// Runnable reports whether RunProfiled may execute this plan. Non-runnable plans
+// (call-bearing or structurally unusual functions) must go through the
+// hook-based Run.
+func (p *Plan) Runnable() bool { return p.runnable }
+
+// NumEdges returns the number of dense edge-counter slots.
+func (p *Plan) NumEdges() int { return len(p.edgeFrom) }
+
+// Edge returns the (from, to) block indices of a dense edge slot.
+func (p *Plan) Edge(slot int) (from, to int) {
+	return int(p.edgeFrom[slot]), int(p.edgeTo[slot])
+}
+
+// NumSuccs returns the number of successor slots of block i (0 for ret).
+func (p *Plan) NumSuccs(i int) int {
+	switch p.blocks[i].kind {
+	case termBr:
+		return 1
+	case termCond:
+		return 2
+	}
+	return 0
+}
+
+// Succ returns the target block index of successor slot k of block i.
+func (p *Plan) Succ(i, k int) int { return int(p.blocks[i].succs[k].to) }
+
+// BLEdge carries the Ball-Larus annotation of one successor slot: the path
+// register increment, and for back edges the flush/reset behaviour.
+type BLEdge struct {
+	Inc   int64 // value added to the path register (Val of the DAG edge)
+	Reset int64 // path register value after a back-edge flush
+	Flush bool  // true for back edges: record(reg+Inc), reg = Reset
+}
+
+// BLPlan overlays Ball-Larus path numbering onto a Plan. It is built by
+// ballarus.DAG.CompilePlan and is immutable after construction.
+type BLPlan struct {
+	EntryVal int64       // initial path register value
+	NumPaths int64       // distinct acyclic paths (sizes the dense counters)
+	Succs    [][2]BLEdge // per block, parallel to the plan's successor slots
+	RetVal   []int64     // per block: Val(b->EXIT) for returning blocks
+}
+
+// MaxDensePaths bounds the path-count table a PathState allocates densely;
+// functions with more acyclic paths fall back to a sparse map, mirroring how
+// real path profilers degrade to hashing.
+const MaxDensePaths = int64(1) << 17
+
+// PathState accumulates one collector's dense profile across any number of
+// RunPlan invocations: block counts, edge counts, path counts, and the
+// optional path trace. It replaces the map[Edge]int64 / map[int64]int64
+// bookkeeping of the hook path on the common (< MaxDensePaths) case.
+type PathState struct {
+	Blocks []int64 // indexed by block index
+	Edges  []int64 // indexed by dense edge slot
+	Trace  []int64 // completed path IDs in execution order
+
+	dense       []int64
+	sparse      map[int64]int64
+	recordTrace bool
+}
+
+// NewPathState sizes a state for the plan. numPaths selects dense versus
+// sparse path counting; recordTrace enables trace capture.
+func NewPathState(p *Plan, numPaths int64, recordTrace bool) *PathState {
+	st := &PathState{
+		Blocks:      make([]int64, len(p.blocks)),
+		Edges:       make([]int64, len(p.edgeFrom)),
+		recordTrace: recordTrace,
+	}
+	if numPaths > 0 && numPaths <= MaxDensePaths {
+		st.dense = make([]int64, numPaths)
+	} else {
+		st.sparse = make(map[int64]int64)
+	}
+	return st
+}
+
+// EachPath calls fn for every executed path ID with its frequency.
+func (st *PathState) EachPath(fn func(id, freq int64)) {
+	if st.dense != nil {
+		for id, n := range st.dense {
+			if n != 0 {
+				fn(int64(id), n)
+			}
+		}
+		return
+	}
+	for id, n := range st.sparse {
+		fn(id, n)
+	}
+}
+
+// Reset zeroes every accumulated counter and drops the trace, so the state
+// can be reused after its contents have been drained elsewhere.
+func (st *PathState) Reset() {
+	for i := range st.Blocks {
+		st.Blocks[i] = 0
+	}
+	for i := range st.Edges {
+		st.Edges[i] = 0
+	}
+	for i := range st.dense {
+		st.dense[i] = 0
+	}
+	if st.sparse != nil {
+		st.sparse = make(map[int64]int64)
+	}
+	st.Trace = nil
+}
+
+func (st *PathState) record(id int64, onPath func(int64)) {
+	if st.dense != nil {
+		st.dense[id]++
+	} else {
+		st.sparse[id]++
+	}
+	if st.recordTrace {
+		st.Trace = append(st.Trace, id)
+	}
+	if onPath != nil {
+		onPath(id)
+	}
+}
+
+// Timing consumes the dynamic instruction stream of a planned run, exactly
+// as the Instr/Mem/Edge hook combination feeds the host timing model on the
+// slow path. *ooo.Model implements it.
+type Timing interface {
+	// Feed schedules one dynamic instruction; addr is the effective word
+	// address for memory operations (0 otherwise).
+	Feed(in *ir.Instr, addr int64)
+	// NoteBranch reports a conditional branch outcome, after the branch
+	// instruction has been fed.
+	NoteBranch(taken bool)
+}
+
+// PlanOpts configures RunProfiled.
+type PlanOpts struct {
+	// MaxSteps bounds dynamic instructions (<= 0: the Run default).
+	MaxSteps int64
+	// Timing, when non-nil, receives every executed instruction in program
+	// order plus conditional-branch outcomes (the fused host-model feed).
+	Timing Timing
+	// History, when non-nil, is a branch-history shift register updated at
+	// every conditional branch: 1 shifted in when the taken arm ran.
+	History *uint64
+	// OnPath fires at every path completion with the completed path ID,
+	// after counters update but before the history register shifts the
+	// completing edge's bit (matching the hook ordering the system
+	// simulator's cycle attribution depends on).
+	OnPath func(id int64)
+}
+
+// RunProfiled executes a planned function over the fused profiling fast path:
+// block, edge, and Ball-Larus path counters update by direct array
+// increments, with no hook closures in the inner loop. Results, step counts,
+// errors, and the collected profile are identical to running the hook-based
+// Run with a profile.Collector attached — the property the differential
+// tests pin down.
+func RunProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts PlanOpts) (Result, error) {
+	if !p.runnable {
+		return Result{}, fmt.Errorf("interp: plan for %s is not runnable", p.f.Name)
+	}
+	f := p.f
+	if len(args) != f.NumParams() {
+		return Result{}, fmt.Errorf("interp: %s wants %d args, got %d", f.Name, f.NumParams(), len(args))
+	}
+	maxSteps := opts.MaxSteps
+	if maxSteps <= 0 {
+		maxSteps = 1 << 32
+	}
+	timing := opts.Timing
+	hist := opts.History
+	onPath := opts.OnPath
+
+	regs := make([]uint64, len(f.RegType))
+	for i, a := range args {
+		regs[f.Param(i)] = a
+	}
+	var phiTmp []uint64
+	if p.maxPhis > 0 {
+		phiTmp = make([]uint64, p.maxPhis)
+	}
+
+	var steps int64
+	// pend mirrors the hook path's address capture: the Mem hook only fires
+	// for memory ops and nothing clears it, so a timing model sees the last
+	// memory address alongside every subsequent non-memory instruction. The
+	// value is only meaningful for memory ops, but the fast path reproduces
+	// the stale reads too so the two event streams are indistinguishable.
+	var pend int64
+	cur := 0
+	predSlot := int32(0)
+	pathReg := bl.EntryVal
+	blocks := p.blocks
+
+	for {
+		b := &blocks[cur]
+		st.Blocks[cur]++
+		// One bounds check per block: when the whole block fits under the
+		// step budget, the per-instruction limit checks are skipped.
+		careful := steps+int64(len(b.phis)+len(b.body)+1) > maxSteps
+
+		if len(b.phis) > 0 {
+			moves := b.moves[predSlot]
+			if moves == nil {
+				return Result{Steps: steps}, p.phiEdgeError(cur, predSlot)
+			}
+			for i := range moves {
+				phiTmp[i] = regs[moves[i].src]
+			}
+			for i := range moves {
+				regs[moves[i].dst] = phiTmp[i]
+				steps++
+				if careful && steps > maxSteps {
+					return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
+				}
+				if timing != nil {
+					timing.Feed(b.phis[i], pend)
+				}
+			}
+		}
+
+		for _, in := range b.body {
+			steps++
+			if careful && steps > maxSteps {
+				return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
+			}
+			// The common opcodes are inlined below with arithmetic identical
+			// to eval's (two's-complement add/sub/mul/shl are the same bits
+			// signed or unsigned; shr stays an arithmetic int64 shift); rare
+			// opcodes and every error path fall back to eval so results and
+			// error messages cannot drift.
+			switch in.Op {
+			case ir.OpAdd:
+				regs[in.Dst] = regs[in.Args[0]] + regs[in.Args[1]]
+			case ir.OpSub:
+				regs[in.Dst] = regs[in.Args[0]] - regs[in.Args[1]]
+			case ir.OpMul:
+				regs[in.Dst] = regs[in.Args[0]] * regs[in.Args[1]]
+			case ir.OpAnd:
+				regs[in.Dst] = regs[in.Args[0]] & regs[in.Args[1]]
+			case ir.OpOr:
+				regs[in.Dst] = regs[in.Args[0]] | regs[in.Args[1]]
+			case ir.OpXor:
+				regs[in.Dst] = regs[in.Args[0]] ^ regs[in.Args[1]]
+			case ir.OpShl:
+				regs[in.Dst] = regs[in.Args[0]] << (regs[in.Args[1]] & 63)
+			case ir.OpShr:
+				regs[in.Dst] = uint64(int64(regs[in.Args[0]]) >> (regs[in.Args[1]] & 63))
+			case ir.OpCmpEQ:
+				regs[in.Dst] = b2u(regs[in.Args[0]] == regs[in.Args[1]])
+			case ir.OpCmpNE:
+				regs[in.Dst] = b2u(regs[in.Args[0]] != regs[in.Args[1]])
+			case ir.OpCmpLT:
+				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) < int64(regs[in.Args[1]]))
+			case ir.OpCmpLE:
+				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) <= int64(regs[in.Args[1]]))
+			case ir.OpCmpGT:
+				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) > int64(regs[in.Args[1]]))
+			case ir.OpCmpGE:
+				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) >= int64(regs[in.Args[1]]))
+			case ir.OpFAdd:
+				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) + math.Float64frombits(regs[in.Args[1]]))
+			case ir.OpFSub:
+				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) - math.Float64frombits(regs[in.Args[1]]))
+			case ir.OpFMul:
+				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) * math.Float64frombits(regs[in.Args[1]]))
+			case ir.OpFDiv:
+				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) / math.Float64frombits(regs[in.Args[1]]))
+			case ir.OpConst:
+				regs[in.Dst] = uint64(in.Imm)
+			case ir.OpCopy:
+				regs[in.Dst] = regs[in.Args[0]]
+			case ir.OpSelect:
+				if regs[in.Args[0]] != 0 {
+					regs[in.Dst] = regs[in.Args[1]]
+				} else {
+					regs[in.Dst] = regs[in.Args[2]]
+				}
+			case ir.OpLoad:
+				addr := int64(regs[in.Args[0]])
+				pend = addr
+				if uint64(addr) < uint64(len(mem)) {
+					regs[in.Dst] = mem[addr]
+				} else if _, err := eval(in, regs, mem); err != nil {
+					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
+				}
+			case ir.OpStore:
+				addr := int64(regs[in.Args[0]])
+				pend = addr
+				if uint64(addr) < uint64(len(mem)) {
+					mem[addr] = regs[in.Args[1]]
+				} else if _, err := eval(in, regs, mem); err != nil {
+					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
+				}
+			default:
+				if in.Op.IsMemory() {
+					pend = int64(regs[in.Args[0]])
+				}
+				v, err := eval(in, regs, mem)
+				if err != nil {
+					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
+				}
+				if in.Op.HasDest() {
+					regs[in.Dst] = v
+				}
+			}
+			if timing != nil {
+				timing.Feed(in, pend)
+			}
+		}
+
+		steps++
+		if careful && steps > maxSteps {
+			return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
+		}
+		if timing != nil {
+			timing.Feed(b.term, pend)
+		}
+		switch b.kind {
+		case termRet:
+			var ret uint64
+			if b.retReg != ir.NoReg {
+				ret = regs[b.retReg]
+			}
+			st.record(pathReg+bl.RetVal[cur], onPath)
+			return Result{Ret: ret, Steps: steps}, nil
+		case termBr:
+			s := &b.succs[0]
+			e := &bl.Succs[cur][0]
+			st.Edges[s.edgeSlot]++
+			if e.Flush {
+				st.record(pathReg+e.Inc, onPath)
+				pathReg = e.Reset
+			} else {
+				pathReg += e.Inc
+			}
+			cur, predSlot = int(s.to), s.predSlot
+		default: // termCond
+			k := 1
+			if regs[b.condReg] != 0 {
+				k = 0
+			}
+			s := &b.succs[k]
+			e := &bl.Succs[cur][k]
+			st.Edges[s.edgeSlot]++
+			if e.Flush {
+				st.record(pathReg+e.Inc, onPath)
+				pathReg = e.Reset
+			} else {
+				pathReg += e.Inc
+			}
+			if timing != nil {
+				timing.NoteBranch(s.taken != 0)
+			}
+			if hist != nil {
+				*hist = *hist<<1 | uint64(s.taken)
+			}
+			cur, predSlot = int(s.to), s.predSlot
+		}
+	}
+}
+
+// phiEdgeError reproduces the general interpreter's missing-phi-edge error
+// for the (block, predecessor slot) pair.
+func (p *Plan) phiEdgeError(cur int, predSlot int32) error {
+	b := p.f.Blocks[cur]
+	pred := p.preds[cur][predSlot]
+	for _, phi := range b.Phis() {
+		found := false
+		for _, from := range phi.Blocks {
+			if from == pred {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("interp: %s.%s: phi %s has no incoming edge from %s",
+				p.f.Name, b.Name, phi.Dst, pred)
+		}
+	}
+	return fmt.Errorf("interp: %s.%s: phi resolution failed from %s", p.f.Name, b.Name, pred)
+}

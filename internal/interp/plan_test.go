@@ -1,0 +1,81 @@
+package interp
+
+import (
+	"errors"
+	"testing"
+
+	"needle/internal/ir"
+)
+
+// TestStepLimitExactAtEveryInstruction pins the step budget to every
+// position of the dynamic stream in turn: execution must stop with
+// ErrStepLimit exactly one instruction past the budget no matter what kind
+// of instruction the limit lands on. Phis count as instructions, so a limit
+// landing mid-phi-sequence must trip there, not at the next body check.
+func TestStepLimitExactAtEveryInstruction(t *testing.T) {
+	f := buildSumLoop(t)
+	full, err := Run(f, []uint64{IBits(5)}, nil, nil, 0)
+	if err != nil {
+		t.Fatalf("unlimited run: %v", err)
+	}
+	for limit := int64(1); limit < full.Steps; limit++ {
+		res, err := Run(f, []uint64{IBits(5)}, nil, nil, limit)
+		if !errors.Is(err, ErrStepLimit) {
+			t.Fatalf("limit %d: want ErrStepLimit, got %v", limit, err)
+		}
+		if res.Steps != limit+1 {
+			t.Fatalf("limit %d: stopped at step %d, want %d (limit not enforced at that instruction)",
+				limit, res.Steps, limit+1)
+		}
+	}
+}
+
+func TestBuildPlanSumLoop(t *testing.T) {
+	f := buildSumLoop(t)
+	p := BuildPlan(f)
+	if !p.Runnable() {
+		t.Fatal("sum loop should have a runnable plan")
+	}
+	if p.F() != f {
+		t.Error("plan function mismatch")
+	}
+	// entry->head, head->body, head->exit, body->head.
+	if p.NumEdges() != 4 {
+		t.Errorf("NumEdges = %d, want 4", p.NumEdges())
+	}
+	seen := make(map[[2]int]bool)
+	for s := 0; s < p.NumEdges(); s++ {
+		from, to := p.Edge(s)
+		if from < 0 || from >= len(f.Blocks) || to < 0 || to >= len(f.Blocks) {
+			t.Fatalf("edge %d = (%d,%d) out of range", s, from, to)
+		}
+		seen[[2]int{from, to}] = true
+	}
+	if len(seen) != 4 {
+		t.Errorf("edges not distinct: %v", seen)
+	}
+}
+
+func TestBuildPlanDeclinesCalls(t *testing.T) {
+	src := `func @leaf(i64) {
+entry:
+  ret r1
+}
+
+func @main(i64) {
+entry:
+  r2 = call.i64 @leaf r1
+  ret r2
+}
+`
+	m, err := ir.Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	if p := BuildPlan(m.Func("main")); p.Runnable() {
+		t.Error("call-bearing function must not get a runnable plan")
+	}
+	if p := BuildPlan(m.Func("leaf")); !p.Runnable() {
+		t.Error("leaf function should plan fine")
+	}
+}

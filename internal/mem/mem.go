@@ -5,6 +5,8 @@
 // and charges fixed latencies per level, which is all the evaluation needs.
 package mem
 
+import "math/bits"
+
 // Config describes the hierarchy. Addresses are word (8-byte) indices.
 type Config struct {
 	L1Words     int   // total L1 capacity in words (64 KiB = 8192 words)
@@ -45,6 +47,11 @@ type Stats struct {
 type Cache struct {
 	cfg  Config
 	sets [][]line // [set][way]
+	// lineShift/setMask implement the line and set computation by shift and
+	// mask when line size and set count are powers of two (the default
+	// configuration); lineShift < 0 selects the general divide/modulo path.
+	lineShift int
+	setMask   int64
 	Stats
 }
 
@@ -85,8 +92,15 @@ func New(cfg Config) *Cache {
 	for i := range sets {
 		sets[i] = make([]line, cfg.L1Ways)
 	}
-	return &Cache{cfg: cfg, sets: sets}
+	c := &Cache{cfg: cfg, sets: sets, lineShift: -1}
+	if isPow2(cfg.L1LineWords) && isPow2(nSets) {
+		c.lineShift = bits.TrailingZeros(uint(cfg.L1LineWords))
+		c.setMask = int64(nSets - 1)
+	}
+	return c
 }
+
+func isPow2(n int) bool { return n > 0 && n&(n-1) == 0 }
 
 // Config returns the active configuration.
 func (c *Cache) Config() Config { return c.cfg }
@@ -96,10 +110,19 @@ func (c *Cache) Config() Config { return c.cfg }
 // latency is folded into the miss penalty).
 func (c *Cache) Access(addr int64) int64 {
 	c.Accesses++
-	lineAddr := addr / int64(c.cfg.L1LineWords)
-	set := int(lineAddr % int64(len(c.sets)))
-	if set < 0 {
-		set = -set
+	var lineAddr int64
+	var set int
+	if c.lineShift >= 0 && addr >= 0 {
+		// Shift/mask equals the divide/modulo below for non-negative
+		// addresses when line size and set count are powers of two.
+		lineAddr = addr >> uint(c.lineShift)
+		set = int(lineAddr & c.setMask)
+	} else {
+		lineAddr = addr / int64(c.cfg.L1LineWords)
+		set = int(lineAddr % int64(len(c.sets)))
+		if set < 0 {
+			set = -set
+		}
 	}
 	ways := c.sets[set]
 	for i := range ways {

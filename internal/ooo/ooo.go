@@ -55,6 +55,32 @@ func Latency(op ir.Op) int64 {
 	return 1
 }
 
+// Per-opcode class and latency tables: Feed runs once per dynamic
+// instruction, so the predicates and the Latency switch are folded into two
+// array lookups. Sized generously past the last opcode (OpRet).
+const (
+	classInt = iota
+	classFP
+	classMem
+)
+
+var (
+	opClass [64]uint8
+	opLat   [64]int64
+)
+
+func init() {
+	for op := ir.Op(0); op <= ir.OpRet; op++ {
+		opLat[op] = Latency(op)
+		switch {
+		case op.IsMemory():
+			opClass[op] = classMem
+		case op.IsFloat():
+			opClass[op] = classFP
+		}
+	}
+}
+
 // OpMix counts executed instructions by class, for the energy model.
 type OpMix struct {
 	Int   int64 // integer ALU ops (compares, moves, branches included)
@@ -76,6 +102,8 @@ type Model struct {
 	robHead  int
 
 	count    int64 // instructions fed
+	fetch    int64 // count / Width, maintained incrementally
+	fetchRem int64 // count % Width
 	lastDone int64 // max finish time
 	pendAddr int64 // address captured by the Mem hook for the next instr
 
@@ -176,7 +204,14 @@ func b2u(v bool) uint64 {
 // Feed schedules one dynamic instruction. addr is the effective word
 // address for memory operations (ignored otherwise).
 func (m *Model) Feed(in *ir.Instr, addr int64) {
-	fetch := m.count / int64(m.cfg.Width)
+	// fetch is count/Width, maintained incrementally to keep the integer
+	// division out of the per-instruction path.
+	fetch := m.fetch
+	m.fetchRem++
+	if m.fetchRem == int64(m.cfg.Width) {
+		m.fetchRem = 0
+		m.fetch++
+	}
 	m.count++
 	m.Mix.Total++
 
@@ -192,39 +227,40 @@ func (m *Model) Feed(in *ir.Instr, addr int64) {
 	if m.stallUntil > ready {
 		ready = m.stallUntil
 	}
-	in.Uses(func(r ir.Reg) {
-		if int(r) < len(m.regReady) && m.regReady[r] > ready {
-			ready = m.regReady[r]
+	regReady := m.regReady
+	for _, r := range in.Args {
+		if r != ir.NoReg && int(r) < len(regReady) && regReady[r] > ready {
+			ready = regReady[r]
 		}
-	})
+	}
 
 	var lat int64
 	var pool []int64
-	switch {
-	case in.Op.IsMemory():
+	switch opClass[in.Op] {
+	case classMem:
 		m.Mix.Mem++
 		lat = m.cache.Access(addr)
 		pool = m.aluFree // address generation occupies an ALU slot
-	case in.Op.IsFloat():
+	case classFP:
 		m.Mix.FP++
-		lat = Latency(in.Op)
+		lat = opLat[in.Op]
 		pool = m.fpuFree
 	default:
 		m.Mix.Int++
-		lat = Latency(in.Op)
+		lat = opLat[in.Op]
 		pool = m.aluFree
 	}
 
 	// Pick the earliest-free unit (units are pipelined: busy for 1 cycle).
-	best := 0
+	best, bestT := 0, pool[0]
 	for i := 1; i < len(pool); i++ {
-		if pool[i] < pool[best] {
-			best = i
+		if t := pool[i]; t < bestT {
+			best, bestT = i, t
 		}
 	}
 	issue := ready
-	if pool[best] > issue {
-		issue = pool[best]
+	if bestT > issue {
+		issue = bestT
 	}
 	pool[best] = issue + 1
 	finish := issue + lat
@@ -233,7 +269,10 @@ func (m *Model) Feed(in *ir.Instr, addr int64) {
 		m.regReady[in.Dst] = finish
 	}
 	m.rob[slot] = finish
-	m.robHead = (m.robHead + 1) % len(m.rob)
+	m.robHead = slot + 1
+	if m.robHead == len(m.rob) {
+		m.robHead = 0
+	}
 	if finish > m.lastDone {
 		m.lastDone = finish
 	}

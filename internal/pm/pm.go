@@ -16,6 +16,7 @@ import (
 	"sync"
 
 	"needle/internal/analysis"
+	"needle/internal/interp"
 	"needle/internal/ir"
 )
 
@@ -37,6 +38,8 @@ const (
 	KindLoops
 	// KindControlDeps is the branch -> control-dependent-blocks map.
 	KindControlDeps
+	// KindExecPlan is the interpreter's compiled execution plan.
+	KindExecPlan
 
 	numKinds
 )
@@ -57,6 +60,8 @@ func (k Kind) String() string {
 		return "loops"
 	case KindControlDeps:
 		return "ctrldeps"
+	case KindExecPlan:
+		return "execplan"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -107,6 +112,7 @@ type funcCache struct {
 	defBlock []*ir.Block
 	loops    []*analysis.Loop
 	ctrlDeps map[*ir.Block][]*ir.Block
+	plan     *interp.Plan
 	// present tracks which fields are valid (a computed-but-empty result is
 	// still a cache hit).
 	present [numKinds]bool
@@ -257,6 +263,20 @@ func (m *Manager) ControlDependents(f *ir.Function) map[*ir.Block][]*ir.Block {
 	return c.ctrlDeps
 }
 
+// ExecPlan returns the cached compiled execution plan of f (interp.BuildPlan).
+// Plans flatten per-block instruction lists as well as the block graph, so
+// they are invalidated by anything short of PreserveAll — including
+// PreserveCFG, since an instruction rewrite changes the planned bodies.
+func (m *Manager) ExecPlan(f *ir.Function) *interp.Plan {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindExecPlan) {
+		c.plan = interp.BuildPlan(f)
+	}
+	return c.plan
+}
+
 // BackEdges returns the dominance back edges of f. The walk is linear in the
 // CFG and derived from the cached dominator tree, so it is recomputed per
 // call rather than cached.
@@ -312,6 +332,8 @@ func (m *Manager) InvalidateExcept(f *ir.Function, p Preserved) {
 			c.loops = nil
 		case KindControlDeps:
 			c.ctrlDeps = nil
+		case KindExecPlan:
+			c.plan = nil
 		}
 	}
 	if dropped {

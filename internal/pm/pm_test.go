@@ -92,6 +92,39 @@ func TestCacheHitIdentity(t *testing.T) {
 	}
 }
 
+// TestExecPlanCaching checks the compiled execution plan's cache contract:
+// identity on repeated queries, survival only under PreserveAll (an
+// instruction rewrite changes the flattened bodies even when the CFG is
+// untouched, so PreserveCFG must drop it), and recomputation afterwards.
+func TestExecPlanCaching(t *testing.T) {
+	f := parse(t, loopSrc)
+	am := pm.NewManager()
+
+	p1 := am.ExecPlan(f)
+	if !p1.Runnable() {
+		t.Fatal("loopSrc should have a runnable plan")
+	}
+	if p2 := am.ExecPlan(f); p2 != p1 {
+		t.Errorf("ExecPlan returned distinct pointers: %p vs %p", p1, p2)
+	}
+
+	am.InvalidateExcept(f, pm.PreserveAll())
+	if p2 := am.ExecPlan(f); p2 != p1 {
+		t.Errorf("PreserveAll dropped the execution plan")
+	}
+
+	am.InvalidateExcept(f, pm.PreserveCFG())
+	if p2 := am.ExecPlan(f); p2 == p1 {
+		t.Errorf("PreserveCFG kept a stale execution plan")
+	}
+
+	p1 = am.ExecPlan(f)
+	am.Invalidate(f)
+	if p2 := am.ExecPlan(f); p2 == p1 {
+		t.Errorf("Invalidate kept a stale execution plan")
+	}
+}
+
 func TestInvalidateExcept(t *testing.T) {
 	f := parse(t, loopSrc)
 	am := pm.NewManager()

@@ -1,0 +1,218 @@
+package profile
+
+import (
+	"reflect"
+	"testing"
+
+	"needle/internal/interp"
+	"needle/internal/ir"
+	"needle/internal/irgen"
+)
+
+// feedEvent is one Timing.Feed observation.
+type feedEvent struct {
+	op   ir.Op
+	dst  ir.Reg
+	addr int64
+}
+
+// recTiming records the exact event stream a timing model would see, so the
+// fast path and the hook path can be compared instruction by instruction.
+type recTiming struct {
+	feeds    []feedEvent
+	branches []bool
+}
+
+func (r *recTiming) Feed(in *ir.Instr, addr int64) {
+	r.feeds = append(r.feeds, feedEvent{in.Op, in.Dst, addr})
+}
+
+func (r *recTiming) NoteBranch(taken bool) { r.branches = append(r.branches, taken) }
+
+// runStyle profiles p once and returns everything observable: the result,
+// the final memory, the timing event stream, the branch-history register,
+// the OnPath ID sequence, and the finished profile. hooked forces the
+// fully-general hook path by handing out Hooks() before running.
+func runStyle(t *testing.T, f *ir.Function, initMem []uint64, args []uint64, hooked bool, maxSteps int64) (
+	interp.Result, error, []uint64, *recTiming, uint64, []int64, *FunctionProfile,
+) {
+	t.Helper()
+	c, err := NewCollector(nil, f, true)
+	if err != nil {
+		t.Fatalf("NewCollector: %v", err)
+	}
+	if hooked {
+		c.Hooks() // commit to the hook path
+		if c.Fast() {
+			t.Fatal("collector still fast after Hooks()")
+		}
+	}
+	var ids []int64
+	c.SetOnPath(func(id int64) { ids = append(ids, id) })
+	mem := append([]uint64(nil), initMem...)
+	tm := &recTiming{}
+	var hist uint64
+	res, runErr := c.RunTimed(args, mem, tm, &hist, maxSteps)
+	var fp *FunctionProfile
+	if runErr == nil {
+		fp, err = c.Finish()
+		if err != nil {
+			t.Fatalf("Finish: %v", err)
+		}
+	}
+	return res, runErr, mem, tm, hist, ids, fp
+}
+
+func compareProfiles(t *testing.T, seed int64, fast, hook *FunctionProfile) {
+	t.Helper()
+	if fast.TotalWeight != hook.TotalWeight {
+		t.Fatalf("seed %d: TotalWeight fast=%d hook=%d", seed, fast.TotalWeight, hook.TotalWeight)
+	}
+	if len(fast.Paths) != len(hook.Paths) {
+		t.Fatalf("seed %d: path count fast=%d hook=%d", seed, len(fast.Paths), len(hook.Paths))
+	}
+	for i := range fast.Paths {
+		a, b := fast.Paths[i], hook.Paths[i]
+		if a.ID != b.ID || a.Freq != b.Freq || a.Ops != b.Ops || a.Weight != b.Weight {
+			t.Fatalf("seed %d: path %d differs: fast={id %d freq %d ops %d} hook={id %d freq %d ops %d}",
+				seed, i, a.ID, a.Freq, a.Ops, b.ID, b.Freq, b.Ops)
+		}
+	}
+	if !reflect.DeepEqual(fast.Trace, hook.Trace) {
+		t.Fatalf("seed %d: traces differ (fast %d entries, hook %d)", seed, len(fast.Trace), len(hook.Trace))
+	}
+	if !reflect.DeepEqual(fast.BlockCounts, hook.BlockCounts) {
+		t.Fatalf("seed %d: block counts differ\nfast %v\nhook %v", seed, fast.BlockCounts, hook.BlockCounts)
+	}
+	if !reflect.DeepEqual(fast.EdgeCounts, hook.EdgeCounts) {
+		t.Fatalf("seed %d: edge counts differ\nfast %v\nhook %v", seed, fast.EdgeCounts, hook.EdgeCounts)
+	}
+}
+
+// TestFastPathMatchesHooksOnRandomCFGs is the differential oracle for the
+// compiled-plan fast path: across hundreds of random structured CFGs,
+// RunProfiled must be observationally identical to hook-based interp.Run —
+// same return value and step count, same final memory, same timing event
+// stream (Feed arguments and branch outcomes in order), same history
+// register, same OnPath sequence, and a byte-identical finished profile.
+func TestFastPathMatchesHooksOnRandomCFGs(t *testing.T) {
+	const seeds = 300
+	cfg := irgen.DefaultConfig()
+	fastCount := 0
+	for seed := int64(0); seed < seeds; seed++ {
+		p := irgen.Generate(seed, cfg)
+		args := []uint64{uint64(seed*7 + 3)}
+
+		if c, err := NewCollector(nil, p.F, true); err != nil {
+			t.Fatalf("seed %d: NewCollector: %v", seed, err)
+		} else if c.Fast() {
+			fastCount++
+		}
+
+		resF, errF, memF, tmF, histF, idsF, fpF := runStyle(t, p.F, p.Mem, args, false, 0)
+		resH, errH, memH, tmH, histH, idsH, fpH := runStyle(t, p.F, p.Mem, args, true, 0)
+		if errF != nil || errH != nil {
+			t.Fatalf("seed %d: run errors: fast=%v hook=%v", seed, errF, errH)
+		}
+		if resF != resH {
+			t.Fatalf("seed %d: result fast=%+v hook=%+v", seed, resF, resH)
+		}
+		if !reflect.DeepEqual(memF, memH) {
+			t.Fatalf("seed %d: final memory differs", seed)
+		}
+		if !reflect.DeepEqual(tmF.feeds, tmH.feeds) {
+			t.Fatalf("seed %d: timing feed streams differ (fast %d events, hook %d)",
+				seed, len(tmF.feeds), len(tmH.feeds))
+		}
+		if !reflect.DeepEqual(tmF.branches, tmH.branches) {
+			t.Fatalf("seed %d: branch outcome streams differ", seed)
+		}
+		if histF != histH {
+			t.Fatalf("seed %d: history register fast=%#x hook=%#x", seed, histF, histH)
+		}
+		if !reflect.DeepEqual(idsF, idsH) {
+			t.Fatalf("seed %d: OnPath sequences differ", seed)
+		}
+		compareProfiles(t, seed, fpF, fpH)
+	}
+	// The oracle is vacuous if the generator mostly produces plans the fast
+	// path declines; irgen emits call-free reducible CFGs, so nearly all
+	// should compile.
+	if fastCount < seeds*9/10 {
+		t.Fatalf("only %d/%d generated programs took the fast path", fastCount, seeds)
+	}
+}
+
+// TestFastPathParallelCondBr covers the degenerate condbr whose two targets
+// are the same block: the CFG has a single edge (and a single Ball-Larus
+// annotation) for it, and the hook path reports the branch as taken on
+// either side. The fast path must agree on counts, history bits, and the
+// timing model's branch stream.
+func TestFastPathParallelCondBr(t *testing.T) {
+	src := `func @par(i64) {
+entry:
+  r2 = const.i64 0
+  br %head
+head:
+  r3 = phi.i64 [entry: r2] [step: r8]
+  r4 = cmp.lt r3, r1
+  condbr r4, %body, %exit
+body:
+  r5 = and r3, r4
+  condbr r5, %step, %step
+step:
+  r7 = const.i64 1
+  r8 = add r3, r7
+  br %head
+exit:
+  ret r3
+}
+`
+	f, err := ir.ParseFunction(src)
+	if err != nil {
+		t.Fatalf("ParseFunction: %v", err)
+	}
+	args := []uint64{interp.IBits(25)}
+	resF, errF, _, tmF, histF, idsF, fpF := runStyle(t, f, nil, args, false, 0)
+	resH, errH, _, tmH, histH, idsH, fpH := runStyle(t, f, nil, args, true, 0)
+	if errF != nil || errH != nil {
+		t.Fatalf("run errors: fast=%v hook=%v", errF, errH)
+	}
+	if resF != resH {
+		t.Fatalf("result fast=%+v hook=%+v", resF, resH)
+	}
+	if histF != histH {
+		t.Fatalf("history fast=%#x hook=%#x", histF, histH)
+	}
+	if !reflect.DeepEqual(tmF.branches, tmH.branches) {
+		t.Fatalf("branch streams differ:\nfast %v\nhook %v", tmF.branches, tmH.branches)
+	}
+	if !reflect.DeepEqual(idsF, idsH) {
+		t.Fatal("OnPath sequences differ")
+	}
+	compareProfiles(t, -1, fpF, fpH)
+}
+
+// TestFastPathStepLimitMatchesHooks checks that the fast path enforces the
+// step budget at exactly the same instruction as the hook interpreter, with
+// the same error message — phis and terminators included.
+func TestFastPathStepLimitMatchesHooks(t *testing.T) {
+	cfg := irgen.DefaultConfig()
+	for seed := int64(0); seed < 40; seed++ {
+		p := irgen.Generate(seed, cfg)
+		args := []uint64{uint64(seed + 11)}
+		for _, limit := range []int64{1, 2, 3, 7, 50, 1000} {
+			resF, errF, _, _, _, _, _ := runStyle(t, p.F, p.Mem, args, false, limit)
+			resH, errH, _, _, _, _, _ := runStyle(t, p.F, p.Mem, args, true, limit)
+			if (errF == nil) != (errH == nil) {
+				t.Fatalf("seed %d limit %d: fast err %v, hook err %v", seed, limit, errF, errH)
+			}
+			if errF != nil && errF.Error() != errH.Error() {
+				t.Fatalf("seed %d limit %d: error text differs:\nfast: %v\nhook: %v", seed, limit, errF, errH)
+			}
+			if resF.Steps != resH.Steps {
+				t.Fatalf("seed %d limit %d: steps fast=%d hook=%d", seed, limit, resF.Steps, resH.Steps)
+			}
+		}
+	}
+}

@@ -64,54 +64,160 @@ type FunctionProfile struct {
 func (fp *FunctionProfile) PathByID(id int64) *Path { return fp.byID[id] }
 
 // Collector gathers a function profile across any number of interpreter
-// runs. Create with NewCollector, pass Hooks() to interp.Run (possibly
-// combined with other hooks), then call Finish.
+// runs. Create with NewCollector, then either drive it with Run/RunTimed
+// (which take the compiled fast path when eligible) or pass Hooks() to
+// interp.Run for fully-general execution, and finally call Finish. A single
+// collector must stick to one style: its first use commits it.
 type Collector struct {
 	dag      *ballarus.DAG
 	profiler *ballarus.Profiler
 	edges    map[Edge]int64
 	blocks   []int64
-	member   map[*ir.Block]bool
+	// member is dense by Block.Index with an identity check (callee blocks
+	// have their own index ranges, so the index alone is ambiguous).
+	member []*ir.Block
+
+	// Fast-path state: the structural plan (shared, immutable, served by the
+	// analysis manager), its Ball-Larus overlay, and the dense counters.
+	plan   *interp.Plan
+	bl     *interp.BLPlan
+	state  *interp.PathState
+	onPath func(id int64)
+	hooked bool // Hooks() was handed out: stay on the hook path
 }
 
 // NewCollector prepares profiling for f. recordTrace enables path-trace
 // capture (needed for Table III sequence analysis and the system
 // simulator). Analyses are served by am (nil for a one-shot manager).
 func NewCollector(am *pm.Manager, f *ir.Function, recordTrace bool) (*Collector, error) {
+	am = pm.Ensure(am)
 	dag, err := ballarus.Build(am, f)
 	if err != nil {
 		return nil, err
 	}
 	p := ballarus.NewProfiler(dag)
 	p.RecordTrace = recordTrace
-	member := make(map[*ir.Block]bool, len(f.Blocks))
+	member := make([]*ir.Block, len(f.Blocks))
 	for _, b := range f.Blocks {
-		member[b] = true
+		member[b.Index] = b
 	}
-	return &Collector{
+	c := &Collector{
 		dag:      dag,
 		profiler: p,
 		edges:    make(map[Edge]int64),
 		blocks:   make([]int64, len(f.Blocks)),
 		member:   member,
-	}, nil
+	}
+	if plan := am.ExecPlan(f); plan.Runnable() {
+		c.plan = plan
+		c.bl = dag.CompilePlan(plan)
+		c.state = interp.NewPathState(plan, dag.NumPaths(), recordTrace)
+	}
+	return c, nil
 }
 
 // SetOnPath registers a callback fired at every path completion with the
 // completed path's ID; the system simulator uses it to attribute host
 // cycles and branch history to path occurrences.
-func (c *Collector) SetOnPath(fn func(id int64)) { c.profiler.OnPath = fn }
+func (c *Collector) SetOnPath(fn func(id int64)) {
+	c.profiler.OnPath = fn
+	c.onPath = fn
+}
 
-// Hooks returns the interpreter hooks that feed this collector.
+// Fast reports whether Run/RunTimed will use the compiled fast path: the
+// function has a runnable plan and no hooks have been handed out. Callers
+// needing extra events (Store/Mem/Instr consumers beyond a Timing model)
+// must use Hooks() with interp.Run instead.
+func (c *Collector) Fast() bool { return c.plan != nil && !c.hooked }
+
+// Run profiles one invocation of the function on args and mem, taking the
+// compiled fast path when Fast() holds and the hook path otherwise. Results,
+// errors, and the collected profile are identical either way.
+func (c *Collector) Run(args, mem []uint64, maxSteps int64) (interp.Result, error) {
+	return c.RunTimed(args, mem, nil, nil, maxSteps)
+}
+
+// RunTimed is Run with an attached timing model and optional branch-history
+// register, the system simulator's configuration. On the fast path the
+// model is fed by direct calls; on the hook path it is wired through
+// interp.CombineHooks exactly as before.
+func (c *Collector) RunTimed(args, mem []uint64, timing interp.Timing, hist *uint64, maxSteps int64) (interp.Result, error) {
+	if c.Fast() {
+		return interp.RunProfiled(c.plan, c.bl, args, mem, c.state, interp.PlanOpts{
+			MaxSteps: maxSteps,
+			Timing:   timing,
+			History:  hist,
+			OnPath:   c.onPath,
+		})
+	}
+	hooks := c.Hooks()
+	if timing != nil || hist != nil {
+		extra := []*interp.Hooks{hooks}
+		if timing != nil {
+			extra = append(extra, timingHooks(timing))
+		}
+		if hist != nil {
+			extra = append(extra, histHooks(hist))
+		}
+		hooks = interp.CombineHooks(extra...)
+	}
+	return interp.Run(c.dag.F, args, mem, hooks, maxSteps)
+}
+
+// timingHooks adapts a Timing to interpreter hooks exactly as ooo.Model
+// wires itself: the Mem event captures the effective address for the Instr
+// event that follows, and condbr edges report the branch outcome.
+func timingHooks(tm interp.Timing) *interp.Hooks {
+	var pend int64
+	return &interp.Hooks{
+		Mem:   func(_ *ir.Instr, addr int64) { pend = addr },
+		Instr: func(in *ir.Instr) { tm.Feed(in, pend) },
+		Edge: func(from, to *ir.Block) {
+			t := from.Term()
+			if t == nil || t.Op != ir.OpCondBr {
+				return
+			}
+			tm.NoteBranch(t.Blocks[0] == to)
+		},
+	}
+}
+
+// histHooks updates an external branch-history shift register from edge
+// events, mirroring spec.HistoryTracker (which cannot be imported here).
+func histHooks(h *uint64) *interp.Hooks {
+	return &interp.Hooks{
+		Edge: func(from, to *ir.Block) {
+			t := from.Term()
+			if t == nil || t.Op != ir.OpCondBr {
+				return
+			}
+			bit := uint64(0)
+			if t.Blocks[0] == to {
+				bit = 1
+			}
+			*h = *h<<1 | bit
+		},
+	}
+}
+
+// isMember reports whether b belongs to the profiled function.
+func (c *Collector) isMember(b *ir.Block) bool {
+	return b.Index < len(c.member) && c.member[b.Index] == b
+}
+
+// Hooks returns the interpreter hooks that feed this collector, committing
+// it to the fully-general hook path (Fast() reports false afterwards, so the
+// profile keeps a single consistent event stream).
 func (c *Collector) Hooks() *interp.Hooks {
+	c.hooked = true
 	own := &interp.Hooks{
 		Block: func(b *ir.Block) {
-			if c.member[b] {
+			if c.isMember(b) {
 				c.blocks[b.Index]++
 			}
 		},
 		Edge: func(from, to *ir.Block) {
-			if c.member[from] {
+			if c.isMember(from) {
 				c.edges[Edge{from.Index, to.Index}]++
 			}
 		},
@@ -119,8 +225,36 @@ func (c *Collector) Hooks() *interp.Hooks {
 	return interp.CombineHooks(own, c.profiler.Hooks())
 }
 
-// Finish decodes and ranks the collected paths into a FunctionProfile.
+// drainFast folds the dense fast-path counters into the hook-path
+// accumulators and clears them, so Finish sees one consistent profile no
+// matter which path produced it. Fast runs all precede the first hook run
+// (handing out hooks turns the fast path off for good), so concatenating
+// traces fast-first preserves execution order.
+func (c *Collector) drainFast() {
+	st := c.state
+	if st == nil {
+		return
+	}
+	st.EachPath(func(id, n int64) { c.profiler.Counts[id] += n })
+	for i, n := range st.Blocks {
+		c.blocks[i] += n
+	}
+	for slot, n := range st.Edges {
+		if n != 0 {
+			from, to := c.plan.Edge(slot)
+			c.edges[Edge{from, to}] += n
+		}
+	}
+	if len(st.Trace) > 0 {
+		c.profiler.Trace = append(st.Trace, c.profiler.Trace...)
+	}
+	st.Reset()
+}
+
+// Finish decodes and ranks the collected paths into a FunctionProfile,
+// merging the dense fast-path counters with any hook-path accumulation.
 func (c *Collector) Finish() (*FunctionProfile, error) {
+	c.drainFast()
 	fp := &FunctionProfile{
 		F:           c.dag.F,
 		DAG:         c.dag,
@@ -168,7 +302,7 @@ func CollectFunction(am *pm.Manager, f *ir.Function, args []uint64, mem []uint64
 	if err != nil {
 		return nil, err
 	}
-	if _, err := interp.Run(f, args, mem, c.Hooks(), maxSteps); err != nil {
+	if _, err := c.Run(args, mem, maxSteps); err != nil {
 		return nil, err
 	}
 	return c.Finish()

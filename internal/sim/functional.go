@@ -40,6 +40,9 @@ func FunctionalOffload(f *ir.Function, args []uint64, mem []uint64, tgt *Target,
 	}
 	ht := &spec.HistoryTracker{}
 	hooks := ht.Hooks()
+	// One scratch buffer set for the whole run keeps the per-block stepper
+	// allocation-free.
+	var bx interp.BlockExec
 
 	cur := f.Entry()
 	var prev *ir.Block
@@ -84,7 +87,7 @@ func FunctionalOffload(f *ir.Function, args []uint64, mem []uint64, tgt *Target,
 			// re-executes the region (and whatever follows) block by block.
 			res.Rollbacks++
 		}
-		next, ret, returned, err := interp.StepBlock(f, cur, prev, regs, mem, hooks)
+		next, ret, returned, err := bx.Step(f, cur, prev, regs, mem, hooks)
 		if err != nil {
 			return res, err
 		}

@@ -96,9 +96,19 @@ func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg
 		histBefore = hist.H
 	})
 
-	all := interp.CombineHooks(collector.Hooks(), model.Hooks(), hist.Hooks())
-	if _, err := interp.Run(f, args, memory, all, cfg.MaxSteps); err != nil {
-		return nil, err
+	// The fast path feeds the timing model and history register by direct
+	// calls inside the compiled plan loop; the hook combination below is the
+	// general fallback (call-bearing functions, irregular CFG shapes) and
+	// produces byte-identical traces — see the capture equivalence test.
+	if collector.Fast() {
+		if _, err := collector.RunTimed(args, memory, model, &hist.H, cfg.MaxSteps); err != nil {
+			return nil, err
+		}
+	} else {
+		all := interp.CombineHooks(collector.Hooks(), model.Hooks(), hist.Hooks())
+		if _, err := interp.Run(f, args, memory, all, cfg.MaxSteps); err != nil {
+			return nil, err
+		}
 	}
 	fp, err := collector.Finish()
 	if err != nil {
@@ -126,6 +136,13 @@ type Target struct {
 
 	accepts map[int64]bool // path id -> completes on accelerator
 	isOpp   map[int64]bool // path id -> starts at the region entry
+	// Dense mirrors of accepts/isOpp/path-ops indexed by path ID, built when
+	// the function's path space is small enough; Evaluate replays traces with
+	// one occurrence per path completion, so these replace three map lookups
+	// per occurrence. Nil when the ID space is too large.
+	acceptsD []bool
+	isOppD   []bool
+	opsD     []int64
 	// fullExec marks non-speculative predicated targets: every frame op
 	// executes (and pays energy) on every invocation, with no gating.
 	fullExec bool
@@ -180,7 +197,31 @@ func newTarget(am *pm.Manager, fp *profile.FunctionProfile, r *region.Region, ac
 	for _, p := range fp.Paths {
 		t.isOpp[p.ID] = len(p.Blocks) > 0 && p.Blocks[0] == r.Entry
 	}
+	t.buildDense(fp)
 	return t, nil
+}
+
+// buildDense mirrors the accepts/isOpp/path-ops maps into arrays indexed by
+// path ID when the ID space is small enough; Evaluate replays one trace
+// occurrence per path completion, so this turns three map lookups per
+// occurrence into array loads.
+func (t *Target) buildDense(fp *profile.FunctionProfile) {
+	n := fp.DAG.NumPaths()
+	if n <= 0 || n > interp.MaxDensePaths {
+		return
+	}
+	t.acceptsD = make([]bool, n)
+	t.isOppD = make([]bool, n)
+	t.opsD = make([]int64, n)
+	for id, v := range t.accepts {
+		t.acceptsD[id] = v
+	}
+	for id, v := range t.isOpp {
+		t.isOppD[id] = v
+	}
+	for _, p := range fp.Paths {
+		t.opsD[p.ID] = p.Ops
+	}
 }
 
 // Result is the outcome of evaluating one target under one predictor.
@@ -239,14 +280,26 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 	reconfigured := false
 	inRun := false
 
+	dense := tgt.isOppD != nil
 	for _, occ := range tr.Occ {
-		if !tgt.isOpp[occ.Path] {
+		opp := false
+		if dense {
+			opp = tgt.isOppD[occ.Path]
+		} else {
+			opp = tgt.isOpp[occ.Path]
+		}
+		if !opp {
 			cycles += occ.Cycles
 			inRun = false
 			continue
 		}
 		res.Opportunities++
-		success := tgt.accepts[occ.Path]
+		var success bool
+		if dense {
+			success = tgt.acceptsD[occ.Path]
+		} else {
+			success = tgt.accepts[occ.Path]
+		}
 		if isOracle {
 			oracle.SetNext(success)
 		}
@@ -257,9 +310,10 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 				cycles += cfg.CGRA.ReconfigCycles
 				reconfigured = true
 			}
-			p := tr.Profile.PathByID(occ.Path)
 			occOps := int64(0)
-			if p != nil {
+			if dense {
+				occOps = tgt.opsD[occ.Path]
+			} else if p := tr.Profile.PathByID(occ.Path); p != nil {
 				occOps = p.Ops
 			}
 			if success {
@@ -471,6 +525,7 @@ func NewHyperblockTarget(am *pm.Manager, fp *profile.FunctionProfile, hb *region
 		isOpp:    accepts,
 		fullExec: true,
 	}
+	t.buildDense(fp)
 	return t, nil
 }
 

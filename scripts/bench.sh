@@ -1,0 +1,78 @@
+#!/bin/sh
+# bench.sh — the repo's performance gate. Runs the sweep benchmarks, writes
+# the results to BENCH_<date>.json (the perf-trajectory artifact), and fails
+# if BenchmarkSweep — the end-to-end 29-workload profiling+evaluation sweep —
+# regresses more than 15% against the checked-in baseline in
+# scripts/bench_baseline.json.
+#
+#   ./scripts/bench.sh            (or: make bench)
+#   BENCH_TIME=10x ./scripts/bench.sh   # more iterations, less noise
+#
+# To accept a new baseline after an intentional change, update
+# scripts/bench_baseline.json with the sweep_ns_per_op this script reports.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+benches='^(BenchmarkSweep|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel)$'
+benchtime="${BENCH_TIME:-5x}"
+
+echo "running sweep benchmarks (benchtime $benchtime)..."
+out=$(go test -run '^$' -bench "$benches" -benchtime "$benchtime" .)
+echo "$out"
+
+# Benchmark lines look like:  BenchmarkSweep[-N]  5  132523001 ns/op [...]
+ns_of() {
+    echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }'
+}
+
+sweep=$(ns_of BenchmarkSweep)
+if [ -z "$sweep" ]; then
+    echo "bench: BenchmarkSweep produced no result" >&2
+    exit 1
+fi
+
+date=$(date +%Y-%m-%d)
+file="BENCH_${date}.json"
+{
+    echo "{"
+    echo "  \"date\": \"${date}\","
+    echo "  \"go\": \"$(go env GOVERSION)\","
+    echo "  \"benchtime\": \"${benchtime}\","
+    echo "  \"sweep_ns_per_op\": ${sweep},"
+    echo "  \"benchmarks\": {"
+    first=1
+    for b in BenchmarkSweep BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel; do
+        ns=$(ns_of "$b")
+        [ -z "$ns" ] && continue
+        [ "$first" = 1 ] || echo ","
+        first=0
+        printf '    "%s": %s' "$b" "$ns"
+    done
+    echo ""
+    echo "  }"
+    echo "}"
+} > "$file"
+echo "wrote $file"
+
+baseline=scripts/bench_baseline.json
+if [ ! -f "$baseline" ]; then
+    echo "bench: no baseline ($baseline); skipping regression gate"
+    exit 0
+fi
+base=$(sed -n 's/.*"sweep_ns_per_op": *\([0-9][0-9]*\).*/\1/p' "$baseline" | head -n 1)
+if [ -z "$base" ]; then
+    echo "bench: baseline $baseline has no sweep_ns_per_op" >&2
+    exit 1
+fi
+
+echo "BenchmarkSweep: ${sweep} ns/op (baseline ${base} ns/op)"
+awk -v cur="$sweep" -v base="$base" 'BEGIN {
+    limit = base * 1.15
+    if (cur > limit) {
+        printf "bench: FAIL — sweep regressed %.1f%% (>15%% over baseline)\n", (cur/base - 1) * 100
+        exit 1
+    }
+    if (cur < base) printf "bench: ok — %.1f%% faster than baseline\n", (1 - cur/base) * 100
+    else            printf "bench: ok — within noise (%.1f%% over baseline)\n", (cur/base - 1) * 100
+}'

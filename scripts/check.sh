@@ -26,3 +26,10 @@ echo "build  ok"
 
 go test -race ./...
 echo "tests  ok"
+
+# Opt-in performance gate: CHECK_BENCH=1 ./scripts/check.sh also runs the
+# sweep benchmarks and fails on a >15% BenchmarkSweep regression.
+if [ "${CHECK_BENCH:-0}" = "1" ]; then
+    ./scripts/bench.sh
+    echo "bench  ok"
+fi
