@@ -9,9 +9,12 @@
 //	needle -figure 9 [-n 8000]        regenerate a figure (2, 3, 4, 5, 6, 9, 10)
 //	needle -all                       regenerate everything
 //	needle -workload 470.lbm          detailed single-workload report
+//	needle -trace out.json            full sweep + Chrome trace timeline
+//	needle -all -metrics              any mode + counter dump on stderr
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -21,27 +24,62 @@ import (
 
 	"needle/internal/core"
 	"needle/internal/ir"
+	"needle/internal/obs"
 	"needle/internal/tables"
 	"needle/internal/workloads"
 )
 
 func main() {
 	var (
-		list     = flag.Bool("list", false, "list available workloads")
-		table    = flag.String("table", "", "regenerate a table: I, II, III, IV, V, HLS")
-		figure   = flag.String("figure", "", "regenerate a figure: 2, 3, 4, 5, 6, 9, 10")
-		all      = flag.Bool("all", false, "regenerate every table and figure")
-		workload = flag.String("workload", "", "detailed report for one workload")
-		n        = flag.Int("n", 0, "problem size override (0 = workload default)")
-		jsonOut  = flag.Bool("json", false, "emit machine-readable JSON (with -workload or alone for all)")
-		dotOut   = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload)")
-		nirOut   = flag.Bool("nir", false, "emit the workload's kernel as textual .nir (with -workload)")
-		jobs     = flag.Int("j", 0, "parallel analysis workers (0 = GOMAXPROCS, 1 = serial)")
-		benchOut = flag.Bool("bench-json", false, "run the full suite and emit wall-clock timings as JSON")
+		list       = flag.Bool("list", false, "list available workloads")
+		table      = flag.String("table", "", "regenerate a table: I, II, III, IV, V, HLS")
+		figure     = flag.String("figure", "", "regenerate a figure: 2, 3, 4, 5, 6, 9, 10")
+		all        = flag.Bool("all", false, "regenerate every table and figure")
+		workload   = flag.String("workload", "", "detailed report for one workload")
+		n          = flag.Int("n", 0, "problem size override (0 = workload default)")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (with -workload or alone for all)")
+		dotOut     = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload)")
+		nirOut     = flag.Bool("nir", false, "emit the workload's kernel as textual .nir (with -workload)")
+		jobs       = flag.Int("j", 0, "parallel analysis workers (0 = GOMAXPROCS, 1 = serial)")
+		benchOut   = flag.Bool("bench-json", false, "run the full suite and emit wall-clock timings as JSON")
+		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (alone: runs the full sweep)")
+		metricsOut = flag.Bool("metrics", false, "dump pipeline counters and span aggregates to stderr after the run")
 	)
 	flag.Parse()
 
-	if *list {
+	// Observability is recorded only when an exporter will consume it; the
+	// instrumentation is a no-op otherwise.
+	observing := *traceOut != "" || *metricsOut
+	if observing {
+		obs.Enable()
+	}
+	dispatch(*list, *table, *figure, *all, *workload, *n, *jsonOut, *dotOut,
+		*nirOut, *jobs, *benchOut, observing)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := obs.WriteChromeTrace(f); err != nil {
+			fatal("trace: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			fatal("trace: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "needle: wrote %s (open at https://ui.perfetto.dev or chrome://tracing)\n", *traceOut)
+	}
+	if *metricsOut {
+		if err := obs.WriteMetrics(os.Stderr); err != nil {
+			fatal("metrics: %v", err)
+		}
+	}
+}
+
+// dispatch runs the selected mode to completion; the observability
+// exporters run after it returns.
+func dispatch(list bool, table, figure string, all bool, workload string, n int,
+	jsonOut, dotOut, nirOut bool, jobs int, benchOut, observing bool) {
+	if list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-20s %-8s %s\n", w.Name, w.Suite, w.Notes)
 		}
@@ -49,17 +87,17 @@ func main() {
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.N = *n
+	cfg.N = n
 
 	switch {
-	case *benchOut:
-		benchJSON(cfg, *jobs)
-	case *workload != "":
-		w := workloads.ByName(*workload)
+	case benchOut:
+		benchJSON(cfg, jobs)
+	case workload != "":
+		w := workloads.ByName(workload)
 		if w == nil {
-			fatal("unknown workload %q (try -list)", *workload)
+			fatal("unknown workload %q (try -list)", workload)
 		}
-		if *nirOut {
+		if nirOut {
 			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
 			return
 		}
@@ -67,7 +105,7 @@ func main() {
 		if err != nil {
 			fatal("analyze: %v", err)
 		}
-		if *jsonOut {
+		if jsonOut {
 			out, err := core.MarshalSummaries([]*core.Analysis{a})
 			if err != nil {
 				fatal("json: %v", err)
@@ -75,16 +113,16 @@ func main() {
 			fmt.Println(string(out))
 			return
 		}
-		if *dotOut {
+		if dotOut {
 			if a.HotBraidFrame == nil {
-				fatal("no frame to render for %s", *workload)
+				fatal("no frame to render for %s", workload)
 			}
 			fmt.Print(a.HotBraidFrame.Dot())
 			return
 		}
 		report(a)
-	case *jsonOut:
-		as, err := core.AnalyzeAllJobs(cfg, *jobs)
+	case jsonOut:
+		as, err := core.AnalyzeAllCtx(context.Background(), cfg, core.Options{Jobs: jobs})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -93,18 +131,18 @@ func main() {
 			fatal("json: %v", err)
 		}
 		fmt.Println(string(out))
-	case *figure == "3":
+	case figure == "3":
 		fmt.Println(tables.Figure3())
-	case *table != "" || *figure != "" || *all:
-		s, err := tables.RunJobs(cfg, *jobs)
+	case table != "" || figure != "" || all:
+		s, err := tables.RunJobs(cfg, jobs)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
 		switch {
-		case *all:
+		case all:
 			fmt.Println(s.All())
-		case *table != "":
-			switch strings.ToUpper(*table) {
+		case table != "":
+			switch strings.ToUpper(table) {
 			case "I":
 				fmt.Println(s.TableI())
 			case "II":
@@ -118,10 +156,10 @@ func main() {
 			case "HLS":
 				fmt.Println(s.TableHLS())
 			default:
-				fatal("unknown table %q", *table)
+				fatal("unknown table %q", table)
 			}
 		default:
-			switch *figure {
+			switch figure {
 			case "2":
 				fmt.Println(s.Figure2())
 			case "4":
@@ -135,9 +173,18 @@ func main() {
 			case "10":
 				fmt.Println(s.Figure10())
 			default:
-				fatal("unknown figure %q", *figure)
+				fatal("unknown figure %q", figure)
 			}
 		}
+	case observing:
+		// Observability-only run (`needle -trace out.json`): sweep every
+		// workload so the exported timeline covers the whole pipeline, but
+		// emit no table output.
+		as, err := core.AnalyzeAllCtx(context.Background(), cfg, core.Options{Jobs: jobs})
+		if err != nil {
+			fatal("analysis sweep: %v", err)
+		}
+		fmt.Fprintf(os.Stderr, "needle: analyzed %d workloads (observability run)\n", len(as))
 	default:
 		flag.Usage()
 		os.Exit(2)

@@ -18,7 +18,14 @@ import (
 
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/obs"
 	"needle/internal/pm"
+)
+
+// Observability counters (no-ops until obs.Enable).
+var (
+	obsDAGBuilds    = obs.GetCounter("ballarus.dag.builds")
+	obsPlanCompiles = obs.GetCounter("ballarus.plan.compiles")
 )
 
 // ErrTooManyPaths is returned when a function's acyclic path count exceeds
@@ -68,6 +75,7 @@ type DAG struct {
 // Build computes the path numbering for f. The function must be finished
 // and verified. Dominance facts come from am (nil for a one-shot manager).
 func Build(am *pm.Manager, f *ir.Function) (*DAG, error) {
+	obsDAGBuilds.Add(1)
 	am = pm.Ensure(am)
 	dom := am.Dominators(f)
 	back := make(map[edgeKey]bool)
@@ -336,6 +344,7 @@ func (d *DAG) CompilePlan(p *interp.Plan) *interp.BLPlan {
 	if p.F() != d.F {
 		panic("ballarus: CompilePlan called with a plan for a different function")
 	}
+	obsPlanCompiles.Add(1)
 	n := len(d.F.Blocks)
 	bl := &interp.BLPlan{
 		EntryVal: d.entryVal,

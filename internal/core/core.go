@@ -7,18 +7,27 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
 
 	"needle/internal/frame"
 	"needle/internal/hls"
+	"needle/internal/obs"
 	"needle/internal/passes"
 	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/sim"
 	"needle/internal/workloads"
+)
+
+// Observability counters (no-ops until obs.Enable).
+var (
+	obsAnalyses   = obs.GetCounter("core.analyses")
+	obsFrameErrs  = obs.GetCounter("core.frame.errors")
+	obsSweepUnits = obs.GetCounter("core.sweep.workloads")
 )
 
 // Config controls an analysis run.
@@ -43,6 +52,28 @@ func DefaultConfig() Config {
 		ColdFraction: 0.1,
 		SelectTopK:   3,
 	}
+}
+
+// withDefaults normalizes a config field by field: every zero-valued field
+// takes its DefaultConfig value, and every field the caller set survives. A
+// partially-filled Config (say, a custom Sim with TopPaths left zero) is
+// therefore honored rather than silently replaced wholesale — N is the one
+// exception, where zero legitimately means "the workload's default size".
+func (c Config) withDefaults() Config {
+	d := DefaultConfig()
+	if c.Sim == (sim.Config{}) {
+		c.Sim = d.Sim
+	}
+	if c.TopPaths == 0 {
+		c.TopPaths = d.TopPaths
+	}
+	if c.ColdFraction == 0 {
+		c.ColdFraction = d.ColdFraction
+	}
+	if c.SelectTopK == 0 {
+		c.SelectTopK = d.SelectTopK
+	}
+	return c
 }
 
 // Analysis is the complete result of running the pipeline on one workload.
@@ -74,26 +105,49 @@ type Analysis struct {
 	HyperblockResult sim.Result
 
 	// HotBraidFrame is the software frame of the top braid, and HLS its
-	// estimated FPGA synthesis (Section VI).
+	// estimated FPGA synthesis (Section VI). HotBraidFrame is nil when the
+	// workload formed no braids, or when frame construction for the hot
+	// braid failed — FrameErr distinguishes the two: it records the
+	// frame.Build error, and is nil when no build was attempted or the
+	// build succeeded. When HotBraidFrame is nil, HLS is the zero Report.
 	HotBraidFrame *frame.Frame
+	FrameErr      error
 	HLS           hls.Report
 }
 
 // Analyze runs the full pipeline on a workload. Kernels with calls are
 // aggressively inlined first, exactly as the paper's LLVM front half does
-// before profiling (Section II-A).
+// before profiling (Section II-A). Zero-valued Config fields are filled
+// from DefaultConfig field by field, so a partially-specified Config keeps
+// every field the caller did set.
 func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
-	if cfg.TopPaths == 0 {
-		cfg = DefaultConfig()
-	}
+	return analyzeSpanned(w, cfg, nil)
+}
+
+// analyzeSpanned is Analyze parented under an observability span (nil for a root
+// span; the sweep passes each worker's span so per-workload timelines land
+// on the worker's track).
+func analyzeSpanned(w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
+	cfg = cfg.withDefaults()
+	sp := parent.Child("analyze " + w.Name)
+	defer sp.End()
+	obsAnalyses.Add(1)
+
 	f, args, memory := w.Instance(cfg.N)
 	// Each run owns a fresh analysis manager: results stay independent of
-	// any shared mutable state, so runs can proceed in parallel.
+	// any shared mutable state, so runs can proceed in parallel. The
+	// manager carries the run's span, parenting the pass-manager and
+	// capture spans recorded below it.
 	am := pm.NewManager()
+	am.SetSpan(sp)
+	ist := sp.Child("inline")
 	f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(f)
+	ist.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: inlining %s: %w", w.Name, err)
 	}
+	// sim.Capture records its own "capture" span (with collector/execute/
+	// finish children) under the manager's span.
 	tr, err := sim.Capture(am, f, args, memory, cfg.Sim)
 	if err != nil {
 		return nil, fmt.Errorf("core: capturing %s: %w", w.Name, err)
@@ -104,61 +158,91 @@ func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
 		AM:       am,
 		Trace:    tr,
 		Profile:  tr.Profile,
-		CFStats:  region.Characterize(am, f),
-		Braids:   region.BuildBraids(tr.Profile, 0),
 	}
+	cst := sp.Child("characterize")
+	a.CFStats = region.Characterize(am, f)
+	cst.End()
+	bst := sp.Child("braids")
+	a.Braids = region.BuildBraids(tr.Profile, 0)
+	bst.End()
 
+	pst := sp.Child("select: path")
 	a.PathHistory, a.PathOracle, err = sim.SelectPath(tr, cfg.Sim, cfg.SelectTopK)
+	pst.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating paths of %s: %w", w.Name, err)
 	}
+	brt := sp.Child("select: braid")
 	a.BraidChoice, err = sim.SelectBraid(tr, cfg.Sim, cfg.SelectTopK)
+	brt.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating braids of %s: %w", w.Name, err)
 	}
+	hst := sp.Child("select: hyperblock")
 	a.HyperblockResult, err = sim.EvaluateHyperblock(tr, cfg.Sim, cfg.ColdFraction)
+	hst.End()
 	if err != nil {
 		return nil, fmt.Errorf("core: evaluating hyperblock of %s: %w", w.Name, err)
 	}
 
 	if len(a.Braids) > 0 {
+		fst := sp.Child("frame+hls")
 		fr, err := frame.Build(am, &a.Braids[0].Region, cfg.Sim.Frame)
-		if err == nil {
+		if err != nil {
+			// Frame construction failing for the hot braid is survivable —
+			// the offload evaluation above already ran — but it must not be
+			// silent: record it for the caller (see the FrameErr contract).
+			a.FrameErr = fmt.Errorf("core: framing hot braid of %s: %w", w.Name, err)
+			obsFrameErrs.Add(1)
+			fst.SetArg("error", err.Error())
+		} else {
 			a.HotBraidFrame = fr
 			a.HLS = hls.Synthesize(fr, hls.CycloneV())
 		}
+		fst.End()
 	}
 	return a, nil
 }
 
-// AnalyzeAll runs the pipeline over every registered workload with the
-// default degree of parallelism (GOMAXPROCS).
-func AnalyzeAll(cfg Config) ([]*Analysis, error) {
-	return AnalyzeAllJobs(cfg, 0)
+// Options configures a sweep over the registered workloads.
+type Options struct {
+	// Jobs bounds the worker pool: GOMAXPROCS when <= 0, serial when 1.
+	Jobs int
 }
 
-// AnalyzeAllJobs runs the pipeline over every registered workload on a
-// bounded worker pool of `jobs` goroutines (GOMAXPROCS when jobs <= 0,
-// serial when jobs == 1). Each workload's analysis owns its manager and
-// shares no mutable state with the others, so the result slice is in
-// registration order and identical to a serial run; on failure the error
-// of the earliest-registered failing workload is returned.
-func AnalyzeAllJobs(cfg Config, jobs int) ([]*Analysis, error) {
+// AnalyzeAllCtx runs the pipeline over every registered workload on a
+// bounded worker pool. Each workload's analysis owns its manager and shares
+// no mutable state with the others, so the result slice is in registration
+// order and identical to a serial run; on failure the error of the
+// earliest-registered failing workload is returned.
+//
+// Cancelling ctx stops the sweep between workloads (a workload analysis
+// already in flight runs to completion) and returns ctx.Err().
+func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, error) {
 	ws := workloads.All()
+	jobs := opts.Jobs
 	if jobs <= 0 {
 		jobs = runtime.GOMAXPROCS(0)
 	}
 	if jobs > len(ws) {
 		jobs = len(ws)
 	}
+	root := obs.StartOnTrack("sweep", 0).
+		SetArg("workloads", len(ws)).SetArg("jobs", jobs)
+	defer root.End()
+
 	out := make([]*Analysis, len(ws))
 	errs := make([]error, len(ws))
 	if jobs <= 1 {
 		for i, w := range ws {
-			a, err := Analyze(w, cfg)
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
+			a, err := analyzeSpanned(w, cfg, root)
 			if err != nil {
 				return nil, err
 			}
+			obsSweepUnits.Add(1)
 			out[i] = a
 		}
 		return out, nil
@@ -167,24 +251,59 @@ func AnalyzeAllJobs(cfg Config, jobs int) ([]*Analysis, error) {
 	var wg sync.WaitGroup
 	for j := 0; j < jobs; j++ {
 		wg.Add(1)
-		go func() {
+		go func(j int) {
 			defer wg.Done()
+			// One span per worker on its own track: the exported timeline
+			// shows each worker's utilization as one lane.
+			wsp := obs.StartOnTrack(fmt.Sprintf("worker-%d", j+1), j+1)
+			defer wsp.End()
 			for i := range idx {
-				out[i], errs[i] = Analyze(ws[i], cfg)
+				if ctx.Err() != nil {
+					continue
+				}
+				out[i], errs[i] = analyzeSpanned(ws[i], cfg, wsp)
+				if errs[i] == nil {
+					obsSweepUnits.Add(1)
+				}
 			}
-		}()
+		}(j)
 	}
+feed:
 	for i := range ws {
-		idx <- i
+		select {
+		case idx <- i:
+		case <-ctx.Done():
+			break feed
+		}
 	}
 	close(idx)
 	wg.Wait()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
 	}
 	return out, nil
+}
+
+// AnalyzeAll runs the pipeline over every registered workload with the
+// default degree of parallelism (GOMAXPROCS).
+//
+// Deprecated: use AnalyzeAllCtx, which adds cancellation.
+func AnalyzeAll(cfg Config) ([]*Analysis, error) {
+	return AnalyzeAllCtx(context.Background(), cfg, Options{})
+}
+
+// AnalyzeAllJobs runs the pipeline over every registered workload on a
+// bounded worker pool of `jobs` goroutines.
+//
+// Deprecated: use AnalyzeAllCtx, which subsumes the jobs parameter via
+// Options and adds cancellation.
+func AnalyzeAllJobs(cfg Config, jobs int) ([]*Analysis, error) {
+	return AnalyzeAllCtx(context.Background(), cfg, Options{Jobs: jobs})
 }
 
 // HottestBraid returns the top-ranked braid, or nil.

@@ -1,9 +1,14 @@
 package core
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"testing"
+	"time"
 
+	"needle/internal/obs"
+	"needle/internal/sim"
 	"needle/internal/workloads"
 )
 
@@ -103,6 +108,126 @@ func TestDefaultConfigFillsZeroValue(t *testing.T) {
 	}
 	if a.Config.TopPaths == 0 {
 		t.Fatal("zero-value config should be replaced by defaults")
+	}
+}
+
+func TestConfigNormalizationKeepsCallerFields(t *testing.T) {
+	// A caller-supplied Sim and N must survive normalization even when
+	// TopPaths is zero — the old sentinel swap silently replaced the whole
+	// Config with DefaultConfig().
+	custom := sim.DefaultConfig()
+	custom.HistBits = 4
+	custom.OOO.Width = 2
+	w := workloads.ByName("164.gzip")
+	a, err := Analyze(w, Config{Sim: custom, N: 900})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Config.Sim.OOO.Width != 2 || a.Config.Sim.HistBits != 4 {
+		t.Fatalf("caller Sim discarded: %+v", a.Config.Sim)
+	}
+	if a.Config.N != 900 {
+		t.Fatalf("caller N discarded: %d", a.Config.N)
+	}
+	d := DefaultConfig()
+	if a.Config.TopPaths != d.TopPaths || a.Config.SelectTopK != d.SelectTopK ||
+		a.Config.ColdFraction != d.ColdFraction {
+		t.Fatalf("zero fields not defaulted: %+v", a.Config)
+	}
+}
+
+func TestAnalyzeAllCtxCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	as, err := AnalyzeAllCtx(ctx, Config{N: 600}, Options{Jobs: 2})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v (results %v)", err, as != nil)
+	}
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("cancellation not prompt: took %v", elapsed)
+	}
+	// Serial path honors cancellation too.
+	if _, err := AnalyzeAllCtx(ctx, Config{N: 600}, Options{Jobs: 1}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("serial path: want context.Canceled, got %v", err)
+	}
+}
+
+func TestAnalyzeAllCtxMidSweepCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		time.Sleep(5 * time.Millisecond)
+		cancel()
+		close(done)
+	}()
+	_, err := AnalyzeAllCtx(ctx, Config{N: 1200}, Options{Jobs: 2})
+	<-done
+	// Either the sweep finished before the cancel landed (nil) or it must
+	// report context.Canceled — never a partial, unexplained result.
+	if err != nil && !errors.Is(err, context.Canceled) {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+func TestDeprecatedWrappersStillWork(t *testing.T) {
+	as, err := AnalyzeAllJobs(Config{N: 1500}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := workloads.All()
+	if len(as) != len(ws) {
+		t.Fatalf("got %d analyses, want %d", len(as), len(ws))
+	}
+	for i, a := range as {
+		if a.Workload != ws[i] {
+			t.Fatalf("result %d out of registration order", i)
+		}
+	}
+}
+
+func TestObservabilitySpansAndCounters(t *testing.T) {
+	obs.Enable()
+	defer func() {
+		obs.Disable()
+		obs.Reset()
+	}()
+	obs.Reset()
+	if _, err := AnalyzeAllCtx(context.Background(), Config{N: 1500}, Options{Jobs: 2}); err != nil {
+		t.Fatal(err)
+	}
+	names := make(map[string]int)
+	for _, s := range obs.Default().Spans() {
+		names[s.Name]++
+	}
+	nw := len(workloads.All())
+	// One span per pipeline stage per workload, plus the sweep root and the
+	// per-worker utilization spans.
+	for _, stage := range []string{
+		"inline", "capture", "characterize", "braids",
+		"select: path", "select: braid", "select: hyperblock",
+	} {
+		if names[stage] != nw {
+			t.Errorf("stage %q: %d spans, want %d", stage, names[stage], nw)
+		}
+	}
+	if names["sweep"] != 1 {
+		t.Errorf("sweep root spans: %d, want 1", names["sweep"])
+	}
+	if names["worker-1"] != 1 || names["worker-2"] != 1 {
+		t.Errorf("worker spans missing: %v / %v", names["worker-1"], names["worker-2"])
+	}
+	if got := names["analyze 164.gzip"]; got != 1 {
+		t.Errorf("analyze span for 164.gzip: %d, want 1", got)
+	}
+	for _, c := range []string{"core.analyses", "pm.cache.hits", "pm.cache.misses",
+		"interp.runs.fast", "interp.instrs.fast", "sim.captures"} {
+		if v := obs.GetCounter(c).Value(); v <= 0 {
+			t.Errorf("counter %s = %d, want > 0", c, v)
+		}
+	}
+	if v := obs.GetCounter("core.analyses").Value(); v != int64(nw) {
+		t.Errorf("core.analyses = %d, want %d", v, nw)
 	}
 }
 

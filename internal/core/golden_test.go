@@ -1,0 +1,53 @@
+package core
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden summary files")
+
+// TestSummaryGolden pins the exact machine-readable output of Summarize —
+// the schema and values `needle -json` emits and scripts/bench.sh-style
+// tooling consumes — on two fixed workloads. An API refactor that changes
+// a field name, drops a field, or perturbs the pipeline's numbers fails
+// here instead of silently breaking downstream consumers. After an
+// intentional change, regenerate with:
+//
+//	go test ./internal/core -run TestSummaryGolden -update
+func TestSummaryGolden(t *testing.T) {
+	for _, tc := range []struct {
+		workload string
+		n        int
+	}{
+		{"164.gzip", 1200},
+		{"456.hmmer", 1500},
+	} {
+		t.Run(tc.workload, func(t *testing.T) {
+			a := analyze(t, tc.workload, tc.n)
+			got, err := MarshalSummaries([]*Analysis{a})
+			if err != nil {
+				t.Fatal(err)
+			}
+			got = append(got, '\n')
+			golden := filepath.Join("testdata", "summary_"+tc.workload+".golden.json")
+			if *update {
+				if err := os.WriteFile(golden, got, 0o644); err != nil {
+					t.Fatal(err)
+				}
+				return
+			}
+			want, err := os.ReadFile(golden)
+			if err != nil {
+				t.Fatalf("missing golden file (run with -update to create): %v", err)
+			}
+			if !bytes.Equal(got, want) {
+				t.Errorf("summary drifted from golden file %s\n(run with -update after an intentional change)\ngot:\n%s\nwant:\n%s",
+					golden, got, want)
+			}
+		})
+	}
+}

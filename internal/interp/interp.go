@@ -10,6 +10,16 @@ import (
 	"math"
 
 	"needle/internal/ir"
+	"needle/internal/obs"
+)
+
+// Observability counters (no-ops until obs.Enable): dynamic instructions and
+// run counts, split by execution path. The fast-path counters live in
+// plan.go's RunProfiled; together they answer "how much execution went
+// through the compiled plans versus the general hook interpreter".
+var (
+	obsHookRuns   = obs.GetCounter("interp.runs.hook")
+	obsHookInstrs = obs.GetCounter("interp.instrs.hook")
 )
 
 // Errors returned by Run.
@@ -78,6 +88,8 @@ func Run(f *ir.Function, args []uint64, mem []uint64, hooks *Hooks, maxSteps int
 	}
 	ex := &executor{mem: mem, hooks: hooks, maxSteps: maxSteps}
 	ret, err := ex.exec(f, args, 0)
+	obsHookRuns.Add(1)
+	obsHookInstrs.Add(ex.steps)
 	return Result{Ret: ret, Steps: ex.steps}, err
 }
 

@@ -17,6 +17,15 @@ import (
 	"math"
 
 	"needle/internal/ir"
+	"needle/internal/obs"
+)
+
+// Fast-path observability counters, the complement of interp.go's hook-path
+// pair. One Add per run keeps the profiled inner loop untouched.
+var (
+	obsFastRuns   = obs.GetCounter("interp.runs.fast")
+	obsFastInstrs = obs.GetCounter("interp.instrs.fast")
+	obsPlanBuilds = obs.GetCounter("interp.plan.builds")
 )
 
 func b2u(v bool) uint64 {
@@ -78,6 +87,7 @@ type Plan struct {
 // BuildPlan compiles f into a Plan. Building always succeeds; Runnable
 // reports whether the fast path may execute it (call-free, verified shape).
 func BuildPlan(f *ir.Function) *Plan {
+	obsPlanBuilds.Add(1)
 	p := &Plan{f: f, runnable: true}
 	if len(f.Blocks) == 0 {
 		p.runnable = false
@@ -369,6 +379,13 @@ type PlanOpts struct {
 // Run with a profile.Collector attached — the property the differential
 // tests pin down.
 func RunProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts PlanOpts) (Result, error) {
+	res, err := runProfiled(p, bl, args, mem, st, opts)
+	obsFastRuns.Add(1)
+	obsFastInstrs.Add(res.Steps)
+	return res, err
+}
+
+func runProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts PlanOpts) (Result, error) {
 	if !p.runnable {
 		return Result{}, fmt.Errorf("interp: plan for %s is not runnable", p.f.Name)
 	}

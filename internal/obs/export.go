@@ -1,0 +1,127 @@
+// Exporters: the Chrome trace-event format (a JSON object with a
+// traceEvents array of "X" complete events, loadable in Perfetto and
+// chrome://tracing) and a plain-text metrics dump of every counter plus
+// per-name span aggregates. Formats are documented in docs/OBSERVABILITY.md.
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+)
+
+// traceEvent is one entry of the Chrome trace-event format. Timestamps and
+// durations are in microseconds; ph "X" is a complete (begin+end) event and
+// ph "M" is metadata (process/thread names).
+type traceEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type traceFile struct {
+	TraceEvents     []traceEvent `json:"traceEvents"`
+	DisplayTimeUnit string       `json:"displayTimeUnit"`
+}
+
+// WriteChromeTrace renders every recorded span as Chrome trace-event JSON.
+// Each obs track becomes one "thread" lane; events on a lane nest by time,
+// which reproduces the Child hierarchy because children start after and end
+// before their parent.
+func (r *Registry) WriteChromeTrace(w io.Writer) error {
+	r.mu.Lock()
+	spans := make([]SpanData, len(r.spans))
+	copy(spans, r.spans)
+	tracks := make(map[int]string, len(r.tracks))
+	for t, name := range r.tracks {
+		tracks[t] = name
+	}
+	r.mu.Unlock()
+
+	events := make([]traceEvent, 0, len(spans)+len(tracks)+1)
+	events = append(events, traceEvent{
+		Name: "process_name", Ph: "M", Pid: 1, Tid: 0,
+		Args: map[string]any{"name": "needle"},
+	})
+	trackIDs := make([]int, 0, len(tracks))
+	for t := range tracks {
+		trackIDs = append(trackIDs, t)
+	}
+	sort.Ints(trackIDs)
+	for _, t := range trackIDs {
+		events = append(events, traceEvent{
+			Name: "thread_name", Ph: "M", Pid: 1, Tid: t,
+			Args: map[string]any{"name": tracks[t]},
+		})
+	}
+	sort.SliceStable(spans, func(i, j int) bool { return spans[i].Start < spans[j].Start })
+	for _, s := range spans {
+		events = append(events, traceEvent{
+			Name: s.Name,
+			Ph:   "X",
+			Ts:   float64(s.Start.Nanoseconds()) / 1e3,
+			Dur:  float64(s.Dur.Nanoseconds()) / 1e3,
+			Pid:  1,
+			Tid:  s.Track,
+			Args: s.Args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(traceFile{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// spanAgg accumulates the per-name span statistics of the metrics dump.
+type spanAgg struct {
+	name    string
+	count   int64
+	totalNS int64
+}
+
+// WriteMetrics writes a plain-text dump: one "counter <name> <value>" line
+// per registered counter (zeros included, so the available counter set is
+// visible) followed by one "span <name> count=<n> total_ms=<t> mean_ms=<m>"
+// line per distinct span name. Both sections are sorted by name.
+func (r *Registry) WriteMetrics(w io.Writer) error {
+	for _, c := range r.Counters() {
+		if _, err := fmt.Fprintf(w, "counter %s %d\n", c.Name(), c.Value()); err != nil {
+			return err
+		}
+	}
+	aggs := make(map[string]*spanAgg)
+	for _, s := range r.Spans() {
+		a := aggs[s.Name]
+		if a == nil {
+			a = &spanAgg{name: s.Name}
+			aggs[s.Name] = a
+		}
+		a.count++
+		a.totalNS += s.Dur.Nanoseconds()
+	}
+	names := make([]string, 0, len(aggs))
+	for name := range aggs {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		a := aggs[name]
+		total := float64(a.totalNS) / 1e6
+		_, err := fmt.Fprintf(w, "span %s count=%d total_ms=%.3f mean_ms=%.3f\n",
+			a.name, a.count, total, total/float64(a.count))
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace exports the Default registry's spans.
+func WriteChromeTrace(w io.Writer) error { return def.WriteChromeTrace(w) }
+
+// WriteMetrics exports the Default registry's counters and span aggregates.
+func WriteMetrics(w io.Writer) error { return def.WriteMetrics(w) }

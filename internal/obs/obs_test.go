@@ -1,0 +1,225 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestDisabledRegistryIsNoOp(t *testing.T) {
+	var r Registry
+	if s := r.Start("root"); s != nil {
+		t.Fatal("disabled registry produced a span")
+	}
+	c := r.GetCounter("x")
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatalf("disabled counter advanced to %d", c.Value())
+	}
+	// Nil-span methods must all be safe.
+	var s *Span
+	s.SetArg("k", 1)
+	s.Child("child").End()
+	s.End()
+	if got := r.Spans(); len(got) != 0 {
+		t.Fatalf("disabled registry recorded %d spans", len(got))
+	}
+}
+
+func TestSpansRecordHierarchyAndTracks(t *testing.T) {
+	var r Registry
+	r.Enable()
+	defer r.Disable()
+
+	root := r.StartOnTrack("worker-1", 1)
+	child := root.Child("analyze").SetArg("workload", "164.gzip")
+	time.Sleep(time.Millisecond)
+	child.End()
+	child.End() // idempotent
+	root.End()
+
+	spans := r.Spans()
+	if len(spans) != 2 {
+		t.Fatalf("got %d spans, want 2", len(spans))
+	}
+	if spans[0].Name != "analyze" || spans[1].Name != "worker-1" {
+		t.Fatalf("unexpected end order: %q, %q", spans[0].Name, spans[1].Name)
+	}
+	if spans[0].Track != 1 {
+		t.Fatalf("child did not inherit track: %d", spans[0].Track)
+	}
+	if spans[0].Dur <= 0 {
+		t.Fatalf("child has no duration: %v", spans[0].Dur)
+	}
+	if spans[0].Args["workload"] != "164.gzip" {
+		t.Fatalf("lost span arg: %v", spans[0].Args)
+	}
+	// The child must nest inside the parent in time.
+	if spans[0].Start < spans[1].Start ||
+		spans[0].Start+spans[0].Dur > spans[1].Start+spans[1].Dur {
+		t.Fatal("child span does not nest within its parent")
+	}
+}
+
+func TestCountersAreConcurrencySafe(t *testing.T) {
+	var r Registry
+	r.Enable()
+	defer r.Disable()
+	c := r.GetCounter("hits")
+	if r.GetCounter("hits") != c {
+		t.Fatal("GetCounter is not idempotent")
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				c.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != 8000 {
+		t.Fatalf("got %d, want 8000", c.Value())
+	}
+}
+
+func TestResetKeepsCounterIdentity(t *testing.T) {
+	var r Registry
+	r.Enable()
+	c := r.GetCounter("n")
+	c.Add(3)
+	r.Start("s").End()
+	r.Reset()
+	if c.Value() != 0 {
+		t.Fatalf("reset left counter at %d", c.Value())
+	}
+	if len(r.Spans()) != 0 {
+		t.Fatal("reset left spans behind")
+	}
+	if r.GetCounter("n") != c {
+		t.Fatal("reset dropped the registered counter")
+	}
+	if !r.Enabled() {
+		t.Fatal("reset must not disable the registry")
+	}
+	c.Add(2)
+	if c.Value() != 2 {
+		t.Fatalf("counter dead after reset: %d", c.Value())
+	}
+}
+
+func TestChromeTraceExport(t *testing.T) {
+	var r Registry
+	r.Enable()
+	w := r.StartOnTrack("worker-1", 1)
+	w.Child("analyze 179.art").End()
+	w.End()
+	r.Start("sweep").End()
+	r.Disable()
+
+	var buf bytes.Buffer
+	if err := r.WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		TraceEvents []struct {
+			Name string  `json:"name"`
+			Ph   string  `json:"ph"`
+			Ts   float64 `json:"ts"`
+			Pid  int     `json:"pid"`
+			Tid  int     `json:"tid"`
+			Args map[string]any
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if out.DisplayTimeUnit != "ms" {
+		t.Fatalf("displayTimeUnit = %q", out.DisplayTimeUnit)
+	}
+	var haveProc, haveThread, haveX bool
+	for _, ev := range out.TraceEvents {
+		switch {
+		case ev.Ph == "M" && ev.Name == "process_name":
+			haveProc = true
+		case ev.Ph == "M" && ev.Name == "thread_name" && ev.Tid == 1:
+			haveThread = true
+		case ev.Ph == "X" && ev.Name == "analyze 179.art" && ev.Tid == 1:
+			haveX = true
+		}
+	}
+	if !haveProc || !haveThread || !haveX {
+		t.Fatalf("missing events (proc=%v thread=%v span=%v):\n%s",
+			haveProc, haveThread, haveX, buf.String())
+	}
+}
+
+func TestMetricsDump(t *testing.T) {
+	var r Registry
+	r.Enable()
+	r.GetCounter("pm.cache.hits").Add(7)
+	r.GetCounter("pm.cache.misses") // registered, zero
+	sp := r.Start("inline")
+	sp.End()
+	r.Disable()
+
+	var buf bytes.Buffer
+	if err := r.WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"counter pm.cache.hits 7\n",
+		"counter pm.cache.misses 0\n",
+		"span inline count=1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("metrics dump missing %q:\n%s", want, out)
+		}
+	}
+	if strings.Index(out, "pm.cache.hits") > strings.Index(out, "pm.cache.misses") {
+		t.Fatalf("counters not sorted:\n%s", out)
+	}
+}
+
+func TestDefaultRegistryHelpers(t *testing.T) {
+	defer func() {
+		Disable()
+		Reset()
+	}()
+	if Enabled() {
+		t.Fatal("default registry must start disabled")
+	}
+	if s := Start("x"); s != nil {
+		t.Fatal("disabled Start must return nil")
+	}
+	Enable()
+	if !Enabled() {
+		t.Fatal("Enable did not stick")
+	}
+	// Child on a nil parent starts a root span on the default registry, so
+	// layers without an enclosing span still record.
+	var parent *Span
+	parent.Child("orphan").End()
+	GetCounter("default.test").Add(1)
+	spans := Default().Spans()
+	if len(spans) != 1 || spans[0].Name != "orphan" {
+		t.Fatalf("nil-parent child not recorded: %+v", spans)
+	}
+	if GetCounter("default.test").Value() != 1 {
+		t.Fatal("default counter lost its increment")
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteMetrics(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

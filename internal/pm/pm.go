@@ -18,6 +18,15 @@ import (
 	"needle/internal/analysis"
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/obs"
+)
+
+// Observability counters (no-ops until obs.Enable): analysis cache
+// behaviour across every Manager in the process.
+var (
+	obsHits   = obs.GetCounter("pm.cache.hits")
+	obsMisses = obs.GetCounter("pm.cache.misses")
+	obsInval  = obs.GetCounter("pm.cache.invalidations")
 )
 
 // Kind identifies one cached analysis.
@@ -124,6 +133,7 @@ type Manager struct {
 	mu    sync.Mutex
 	cache map[*ir.Function]*funcCache
 	stats Stats
+	span  *obs.Span
 }
 
 // NewManager returns an empty analysis manager.
@@ -139,6 +149,23 @@ func Ensure(am *Manager) *Manager {
 		return NewManager()
 	}
 	return am
+}
+
+// SetSpan attaches an observability span to the manager. Pipeline layers
+// that hold the per-run manager but not the run's root span (the pass
+// manager, trace capture) parent their own spans under it; a nil span (the
+// default) makes their spans roots, which the disabled registry drops.
+func (m *Manager) SetSpan(s *obs.Span) {
+	m.mu.Lock()
+	m.span = s
+	m.mu.Unlock()
+}
+
+// Span returns the span attached with SetSpan, or nil.
+func (m *Manager) Span() *obs.Span {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.span
 }
 
 // Stats returns a snapshot of cache behaviour.
@@ -160,9 +187,11 @@ func (m *Manager) entry(f *ir.Function) *funcCache {
 func (m *Manager) hit(c *funcCache, k Kind) bool {
 	if c.present[k] {
 		m.stats.Hits++
+		obsHits.Add(1)
 		return true
 	}
 	m.stats.Misses++
+	obsMisses.Add(1)
 	c.present[k] = true
 	return false
 }
@@ -291,6 +320,7 @@ func (m *Manager) Invalidate(f *ir.Function) {
 	if _, ok := m.cache[f]; ok {
 		delete(m.cache, f)
 		m.stats.Invalidations++
+		obsInval.Add(1)
 	}
 }
 
@@ -338,6 +368,7 @@ func (m *Manager) InvalidateExcept(f *ir.Function, p Preserved) {
 	}
 	if dropped {
 		m.stats.Invalidations++
+		obsInval.Add(1)
 	}
 }
 
@@ -347,6 +378,7 @@ func (m *Manager) Reset() {
 	defer m.mu.Unlock()
 	if len(m.cache) > 0 {
 		m.stats.Invalidations += uint64(len(m.cache))
+		obsInval.Add(int64(len(m.cache)))
 	}
 	m.cache = make(map[*ir.Function]*funcCache)
 }
@@ -412,7 +444,9 @@ func (p *PassManager) RunFixedPoint(f *ir.Function) (*ir.Function, error) {
 func (p *PassManager) runOnce(f *ir.Function) (*ir.Function, bool, error) {
 	changed := false
 	for _, ps := range p.passes {
+		sp := p.am.Span().Child("pass " + ps.Name)
 		out, ch, err := ps.Run(f)
+		sp.SetArg("function", f.Name).SetArg("changed", ch).End()
 		if err != nil {
 			return f, changed, fmt.Errorf("pm: pass %q on %s: %w", ps.Name, f.Name, err)
 		}

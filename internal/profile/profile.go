@@ -12,7 +12,16 @@ import (
 	"needle/internal/ballarus"
 	"needle/internal/interp"
 	"needle/internal/ir"
+	"needle/internal/obs"
 	"needle/internal/pm"
+)
+
+// Observability counters (no-ops until obs.Enable): which execution path
+// collector-driven runs took. A hook-committed collector (Hooks() handed
+// out) is counted under neither — its runs go through interp.Run directly.
+var (
+	obsRunsFast = obs.GetCounter("profile.runs.fast")
+	obsRunsHook = obs.GetCounter("profile.runs.hook")
 )
 
 // Edge identifies a CFG edge by block indices within one function.
@@ -143,6 +152,7 @@ func (c *Collector) Run(args, mem []uint64, maxSteps int64) (interp.Result, erro
 // interp.CombineHooks exactly as before.
 func (c *Collector) RunTimed(args, mem []uint64, timing interp.Timing, hist *uint64, maxSteps int64) (interp.Result, error) {
 	if c.Fast() {
+		obsRunsFast.Add(1)
 		return interp.RunProfiled(c.plan, c.bl, args, mem, c.state, interp.PlanOpts{
 			MaxSteps: maxSteps,
 			Timing:   timing,
@@ -150,6 +160,7 @@ func (c *Collector) RunTimed(args, mem []uint64, timing interp.Timing, hist *uin
 			OnPath:   c.onPath,
 		})
 	}
+	obsRunsHook.Add(1)
 	hooks := c.Hooks()
 	if timing != nil || hist != nil {
 		extra := []*interp.Hooks{hooks}

@@ -16,11 +16,21 @@ import (
 	"needle/internal/interp"
 	"needle/internal/ir"
 	"needle/internal/mem"
+	"needle/internal/obs"
 	"needle/internal/ooo"
 	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/spec"
+)
+
+// Observability counters (no-ops until obs.Enable): baseline captures and
+// the modeled L1 behaviour they observed.
+var (
+	obsCaptures   = obs.GetCounter("sim.captures")
+	obsL1Hits     = obs.GetCounter("sim.cache.l1.hits")
+	obsL1Misses   = obs.GetCounter("sim.cache.l1.misses")
+	obsHostCycles = obs.GetCounter("sim.host.cycles")
 )
 
 // Config gathers the hardware parameters.
@@ -76,7 +86,12 @@ type Trace struct {
 // target evaluation.
 func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg Config) (*Trace, error) {
 	am = pm.Ensure(am)
+	sp := am.Span().Child("capture")
+	defer sp.End()
+	obsCaptures.Add(1)
+	csp := sp.Child("capture: collector")
 	collector, err := profile.NewCollector(am, f, true)
+	csp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -100,17 +115,23 @@ func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg
 	// calls inside the compiled plan loop; the hook combination below is the
 	// general fallback (call-bearing functions, irregular CFG shapes) and
 	// produces byte-identical traces — see the capture equivalence test.
+	xsp := sp.Child("capture: execute").SetArg("fast", collector.Fast())
 	if collector.Fast() {
 		if _, err := collector.RunTimed(args, memory, model, &hist.H, cfg.MaxSteps); err != nil {
+			xsp.End()
 			return nil, err
 		}
 	} else {
 		all := interp.CombineHooks(collector.Hooks(), model.Hooks(), hist.Hooks())
 		if _, err := interp.Run(f, args, memory, all, cfg.MaxSteps); err != nil {
+			xsp.End()
 			return nil, err
 		}
 	}
+	xsp.End()
+	fsp := sp.Child("capture: finish")
 	fp, err := collector.Finish()
+	fsp.End()
 	if err != nil {
 		return nil, err
 	}
@@ -119,6 +140,9 @@ func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg
 	tr.Mix = model.Mix
 	tr.CacheStats = cache.Stats
 	tr.BaselineEnergyPJ = energy.HostEnergyPJ(cfg.CPU, model.Mix, cache.Stats)
+	obsL1Hits.Add(cache.Stats.L1Hits)
+	obsL1Misses.Add(cache.Stats.L1Misses)
+	obsHostCycles.Add(tr.BaselineCycles)
 	return tr, nil
 }
 

@@ -7,6 +7,11 @@
 #
 #   ./scripts/bench.sh            (or: make bench)
 #   BENCH_TIME=10x ./scripts/bench.sh   # more iterations, less noise
+#   BENCH_TRACE=trace.json ./scripts/bench.sh
+#       also runs the needle CLI's -bench-json sweep with observability on
+#       and writes a Chrome trace timeline of it (the benchmarks themselves
+#       always run with observability off, so the gate measures the no-op
+#       cost the paper pipeline pays by default)
 #
 # To accept a new baseline after an intentional change, update
 # scripts/bench_baseline.json with the sweep_ns_per_op this script reports.
@@ -54,6 +59,12 @@ file="BENCH_${date}.json"
     echo "}"
 } > "$file"
 echo "wrote $file"
+
+# Optional observability artifact: a Chrome trace of the CLI's bench sweep.
+if [ -n "${BENCH_TRACE:-}" ]; then
+    echo "tracing bench sweep to ${BENCH_TRACE}..."
+    go run ./cmd/needle -bench-json -trace "$BENCH_TRACE" > /dev/null
+fi
 
 baseline=scripts/bench_baseline.json
 if [ ! -f "$baseline" ]; then

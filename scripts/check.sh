@@ -10,9 +10,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-unformatted=$(gofmt -l . 2>&1)
+unformatted=$(gofmt -l -s . 2>&1)
 if [ -n "$unformatted" ]; then
-    echo "gofmt: unformatted files:" >&2
+    echo "gofmt: unformatted (or unsimplified) files:" >&2
     echo "$unformatted" >&2
     exit 1
 fi
