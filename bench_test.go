@@ -21,6 +21,7 @@ import (
 	"needle/internal/interp"
 	"needle/internal/mem"
 	"needle/internal/ooo"
+	"needle/internal/pipeline"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/sim"
@@ -333,9 +334,52 @@ func BenchmarkAblationMemOrdering(b *testing.B) {
 	}
 }
 
-// BenchmarkAblationPredictor compares invocation policies on a noisy
-// workload (bodytrack) where prediction decides profitability.
+// BenchmarkAblationPredictor sweeps the invocation predictor's history
+// depth — a knob only the pipeline's Target stage reads — across the full
+// pipeline, fresh versus through a shared artifact cache. The fresh/cached
+// ratio is the staged pipeline's reuse win: with a cache, the sweep inlines
+// and profiles bodytrack once and re-evaluates only the predictor per
+// configuration. scripts/bench.sh records both and gates on the ratio.
 func BenchmarkAblationPredictor(b *testing.B) {
+	w := workloads.ByName("bodytrack")
+	histBits := []uint{2, 4, 8, 12, 16}
+	sweep := func(b *testing.B, cache *pipeline.Cache) float64 {
+		b.Helper()
+		var imp float64
+		for _, hb := range histBits {
+			cfg := core.DefaultConfig()
+			cfg.N = 2000
+			cfg.Sim.HistBits = hb
+			a, err := core.AnalyzeWith(cache, w, cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			imp = a.PathHistory.Improvement
+		}
+		return imp
+	}
+	b.Run("fresh", func(b *testing.B) {
+		var imp float64
+		for i := 0; i < b.N; i++ {
+			imp = sweep(b, nil)
+		}
+		b.ReportMetric(imp*100, "improvement-%")
+	})
+	b.Run("cached", func(b *testing.B) {
+		cache := pipeline.NewCache()
+		sweep(b, cache) // warm: the gate measures the steady reuse state
+		b.ResetTimer()
+		var imp float64
+		for i := 0; i < b.N; i++ {
+			imp = sweep(b, cache)
+		}
+		b.ReportMetric(imp*100, "improvement-%")
+	})
+}
+
+// BenchmarkAblationPredictorPolicy compares invocation policies on a noisy
+// workload (bodytrack) where prediction decides profitability.
+func BenchmarkAblationPredictorPolicy(b *testing.B) {
 	tr := captureFor(b, "bodytrack", 2000)
 	cfg := sim.DefaultConfig()
 	tgt, err := sim.NewPathTarget(nil, tr.Profile, tr.Profile.HottestPath(), cfg)

@@ -19,7 +19,9 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 	"time"
 
 	"needle/internal/core"
@@ -53,7 +55,11 @@ func main() {
 	if observing {
 		obs.Enable()
 	}
-	dispatch(*list, *table, *figure, *all, *workload, *n, *jsonOut, *dotOut,
+	// Sweeps honor interruption: ^C or SIGTERM cancels the context and the
+	// sweep stops between workloads instead of running all 29 to the end.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	dispatch(ctx, *list, *table, *figure, *all, *workload, *n, *jsonOut, *dotOut,
 		*nirOut, *jobs, *benchOut, observing)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
@@ -77,7 +83,7 @@ func main() {
 
 // dispatch runs the selected mode to completion; the observability
 // exporters run after it returns.
-func dispatch(list bool, table, figure string, all bool, workload string, n int,
+func dispatch(ctx context.Context, list bool, table, figure string, all bool, workload string, n int,
 	jsonOut, dotOut, nirOut bool, jobs int, benchOut, observing bool) {
 	if list {
 		for _, w := range workloads.All() {
@@ -91,7 +97,7 @@ func dispatch(list bool, table, figure string, all bool, workload string, n int,
 
 	switch {
 	case benchOut:
-		benchJSON(cfg, jobs)
+		benchJSON(ctx, cfg, jobs)
 	case workload != "":
 		w := workloads.ByName(workload)
 		if w == nil {
@@ -122,7 +128,7 @@ func dispatch(list bool, table, figure string, all bool, workload string, n int,
 		}
 		report(a)
 	case jsonOut:
-		as, err := core.AnalyzeAllCtx(context.Background(), cfg, core.Options{Jobs: jobs})
+		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -134,7 +140,7 @@ func dispatch(list bool, table, figure string, all bool, workload string, n int,
 	case figure == "3":
 		fmt.Println(tables.Figure3())
 	case table != "" || figure != "" || all:
-		s, err := tables.RunJobs(cfg, jobs)
+		s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -180,7 +186,7 @@ func dispatch(list bool, table, figure string, all bool, workload string, n int,
 		// Observability-only run (`needle -trace out.json`): sweep every
 		// workload so the exported timeline covers the whole pipeline, but
 		// emit no table output.
-		as, err := core.AnalyzeAllCtx(context.Background(), cfg, core.Options{Jobs: jobs})
+		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -194,13 +200,13 @@ func dispatch(list bool, table, figure string, all bool, workload string, n int,
 // benchJSON runs the full analysis sweep and every table/figure renderer,
 // emitting wall-clock timings as JSON — the perf-trajectory artifact future
 // changes are measured against.
-func benchJSON(cfg core.Config, jobs int) {
+func benchJSON(ctx context.Context, cfg core.Config, jobs int) {
 	type timing struct {
 		Name string  `json:"name"`
 		Ms   float64 `json:"ms"`
 	}
 	start := time.Now()
-	s, err := tables.RunJobs(cfg, jobs)
+	s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs})
 	if err != nil {
 		fatal("analysis sweep: %v", err)
 	}
@@ -264,6 +270,9 @@ func report(a *core.Analysis) {
 	if a.HotBraidFrame != nil {
 		fmt.Printf("\nHLS estimate: %d ALMs (%.0f%% of Cyclone V), %.0f mW\n",
 			a.HLS.ALMs, a.HLS.Utilization*100, a.HLS.PowerMW)
+	}
+	if a.FrameErr != nil {
+		fmt.Printf("\nframe: hot braid frame construction FAILED: %v\n", a.FrameErr)
 	}
 }
 

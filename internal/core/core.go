@@ -4,6 +4,13 @@
 // frames, and evaluate offload on the modeled system. It is the programmatic
 // equivalent of the paper's Figure 1 flow and the entry point used by the
 // command-line tools, the examples, and the experiment harness.
+//
+// Since the staged-pipeline refactor the heavy lifting lives in
+// internal/pipeline (named stages over typed artifacts) and internal/target
+// (pluggable evaluation backends); Analyze and AnalyzeAllCtx are thin
+// compatibility wrappers that flatten the staged artifacts into the
+// Analysis struct, byte-for-byte identical to the old monolith. AnalyzeWith
+// adds cross-config artifact reuse via a pipeline.Cache.
 package core
 
 import (
@@ -15,66 +22,27 @@ import (
 	"needle/internal/frame"
 	"needle/internal/hls"
 	"needle/internal/obs"
-	"needle/internal/passes"
+	"needle/internal/pipeline"
 	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/sim"
+	"needle/internal/target"
 	"needle/internal/workloads"
 )
 
 // Observability counters (no-ops until obs.Enable).
 var (
 	obsAnalyses   = obs.GetCounter("core.analyses")
-	obsFrameErrs  = obs.GetCounter("core.frame.errors")
 	obsSweepUnits = obs.GetCounter("core.sweep.workloads")
 )
 
-// Config controls an analysis run.
-type Config struct {
-	// Sim holds the hardware model parameters (Table V defaults).
-	Sim sim.Config
-	// N overrides the workload problem size; 0 keeps the default.
-	N int
-	// TopPaths bounds how many ranked paths detailed reports include.
-	TopPaths int
-	// ColdFraction is the hyperblock cold-op threshold (Figure 5).
-	ColdFraction float64
-	// SelectTopK bounds the filter-and-rank candidate search.
-	SelectTopK int
-}
+// Config controls an analysis run. It is an alias of pipeline.Config, so
+// the staged API and these compatibility wrappers interoperate freely.
+type Config = pipeline.Config
 
 // DefaultConfig returns the paper's evaluation configuration.
-func DefaultConfig() Config {
-	return Config{
-		Sim:          sim.DefaultConfig(),
-		TopPaths:     5,
-		ColdFraction: 0.1,
-		SelectTopK:   3,
-	}
-}
-
-// withDefaults normalizes a config field by field: every zero-valued field
-// takes its DefaultConfig value, and every field the caller set survives. A
-// partially-filled Config (say, a custom Sim with TopPaths left zero) is
-// therefore honored rather than silently replaced wholesale — N is the one
-// exception, where zero legitimately means "the workload's default size".
-func (c Config) withDefaults() Config {
-	d := DefaultConfig()
-	if c.Sim == (sim.Config{}) {
-		c.Sim = d.Sim
-	}
-	if c.TopPaths == 0 {
-		c.TopPaths = d.TopPaths
-	}
-	if c.ColdFraction == 0 {
-		c.ColdFraction = d.ColdFraction
-	}
-	if c.SelectTopK == 0 {
-		c.SelectTopK = d.SelectTopK
-	}
-	return c
-}
+func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
 // Analysis is the complete result of running the pipeline on one workload.
 type Analysis struct {
@@ -83,7 +51,14 @@ type Analysis struct {
 
 	// AM is the analysis manager that served this run; later frame or
 	// region construction against the analyzed function should reuse it.
+	// Analyses that shared artifacts through a pipeline.Cache share it.
 	AM *pm.Manager
+
+	// Artifacts is the staged artifact set this analysis was flattened
+	// from; Artifacts.Report exposes the typed report of every registered
+	// target backend (including cgra and energy, which have no flattened
+	// field here).
+	Artifacts *pipeline.Artifacts
 
 	// Trace is the captured baseline execution (profile + host costs).
 	Trace *sim.Trace
@@ -121,85 +96,58 @@ type Analysis struct {
 // from DefaultConfig field by field, so a partially-specified Config keeps
 // every field the caller did set.
 func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return analyzeSpanned(w, cfg, nil)
+	return analyzeSpanned(nil, w, cfg, nil)
 }
 
-// analyzeSpanned is Analyze parented under an observability span (nil for a root
-// span; the sweep passes each worker's span so per-workload timelines land
-// on the worker's track).
-func analyzeSpanned(w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
-	cfg = cfg.withDefaults()
-	sp := parent.Child("analyze " + w.Name)
-	defer sp.End()
+// AnalyzeWith runs the pipeline with stage-artifact reuse: upstream
+// artifacts (inlined function, captured profile, braids, hot-braid frame)
+// are shared through the cache with every other run whose workload and
+// upstream config fingerprints match, so a sweep over downstream knobs —
+// predictor history bits, CGRA parameters, selection bounds — re-profiles
+// nothing. A nil cache computes everything fresh; results are identical
+// either way.
+func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Analysis, error) {
+	return analyzeSpanned(cache, w, cfg, nil)
+}
+
+// analyzeSpanned is Analyze parented under an observability span (nil for a
+// root span; the sweep passes each worker's span so per-workload timelines
+// land on the worker's track).
+func analyzeSpanned(cache *pipeline.Cache, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
 	obsAnalyses.Add(1)
+	arts, err := pipeline.Run(w, cfg, pipeline.RunOptions{Parent: parent, Cache: cache})
+	if err != nil {
+		return nil, err
+	}
+	return fromArtifacts(arts)
+}
 
-	f, args, memory := w.Instance(cfg.N)
-	// Each run owns a fresh analysis manager: results stay independent of
-	// any shared mutable state, so runs can proceed in parallel. The
-	// manager carries the run's span, parenting the pass-manager and
-	// capture spans recorded below it.
-	am := pm.NewManager()
-	am.SetSpan(sp)
-	ist := sp.Child("inline")
-	f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(f)
-	ist.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: inlining %s: %w", w.Name, err)
-	}
-	// sim.Capture records its own "capture" span (with collector/execute/
-	// finish children) under the manager's span.
-	tr, err := sim.Capture(am, f, args, memory, cfg.Sim)
-	if err != nil {
-		return nil, fmt.Errorf("core: capturing %s: %w", w.Name, err)
-	}
+// fromArtifacts flattens the staged artifacts into the Analysis struct the
+// pre-refactor monolith produced, pulling the typed reports of the sim and
+// hls backends into their dedicated fields.
+func fromArtifacts(arts *pipeline.Artifacts) (*Analysis, error) {
 	a := &Analysis{
-		Workload: w,
-		Config:   cfg,
-		AM:       am,
-		Trace:    tr,
-		Profile:  tr.Profile,
+		Workload:      arts.Workload,
+		Config:        arts.Config,
+		AM:            arts.Inline.AM,
+		Artifacts:     arts,
+		Trace:         arts.Profile.Trace,
+		Profile:       arts.Profile.Trace.Profile,
+		CFStats:       arts.Select.CFStats,
+		Braids:        arts.Select.Braids,
+		HotBraidFrame: arts.Frame.HotBraidFrame,
+		FrameErr:      arts.Frame.FrameErr,
 	}
-	cst := sp.Child("characterize")
-	a.CFStats = region.Characterize(am, f)
-	cst.End()
-	bst := sp.Child("braids")
-	a.Braids = region.BuildBraids(tr.Profile, 0)
-	bst.End()
-
-	pst := sp.Child("select: path")
-	a.PathHistory, a.PathOracle, err = sim.SelectPath(tr, cfg.Sim, cfg.SelectTopK)
-	pst.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: evaluating paths of %s: %w", w.Name, err)
+	rep, ok := arts.Report("sim").(*target.SimReport)
+	if !ok {
+		return nil, fmt.Errorf("core: %s: no sim target report (backend not registered?)", a.Workload.Name)
 	}
-	brt := sp.Child("select: braid")
-	a.BraidChoice, err = sim.SelectBraid(tr, cfg.Sim, cfg.SelectTopK)
-	brt.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: evaluating braids of %s: %w", w.Name, err)
-	}
-	hst := sp.Child("select: hyperblock")
-	a.HyperblockResult, err = sim.EvaluateHyperblock(tr, cfg.Sim, cfg.ColdFraction)
-	hst.End()
-	if err != nil {
-		return nil, fmt.Errorf("core: evaluating hyperblock of %s: %w", w.Name, err)
-	}
-
-	if len(a.Braids) > 0 {
-		fst := sp.Child("frame+hls")
-		fr, err := frame.Build(am, &a.Braids[0].Region, cfg.Sim.Frame)
-		if err != nil {
-			// Frame construction failing for the hot braid is survivable —
-			// the offload evaluation above already ran — but it must not be
-			// silent: record it for the caller (see the FrameErr contract).
-			a.FrameErr = fmt.Errorf("core: framing hot braid of %s: %w", w.Name, err)
-			obsFrameErrs.Add(1)
-			fst.SetArg("error", err.Error())
-		} else {
-			a.HotBraidFrame = fr
-			a.HLS = hls.Synthesize(fr, hls.CycloneV())
-		}
-		fst.End()
+	a.PathOracle = rep.PathOracle
+	a.PathHistory = rep.PathHistory
+	a.BraidChoice = rep.BraidChoice
+	a.HyperblockResult = rep.Hyperblock
+	if h, ok := arts.Report("hls").(*target.HLSReport); ok && h.Synthesized {
+		a.HLS = h.Report
 	}
 	return a, nil
 }
@@ -208,6 +156,11 @@ func analyzeSpanned(w *workloads.Workload, cfg Config, parent *obs.Span) (*Analy
 type Options struct {
 	// Jobs bounds the worker pool: GOMAXPROCS when <= 0, serial when 1.
 	Jobs int
+	// Cache shares stage artifacts across the sweep's analyses — and with
+	// any other run handed the same cache, which is how a multi-config
+	// ablation sweep reuses one set of upstream artifacts. Nil analyzes
+	// everything fresh.
+	Cache *pipeline.Cache
 }
 
 // AnalyzeAllCtx runs the pipeline over every registered workload on a
@@ -238,7 +191,7 @@ func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, 
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			a, err := analyzeSpanned(w, cfg, root)
+			a, err := analyzeSpanned(opts.Cache, w, cfg, root)
 			if err != nil {
 				return nil, err
 			}
@@ -261,7 +214,7 @@ func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, 
 				if ctx.Err() != nil {
 					continue
 				}
-				out[i], errs[i] = analyzeSpanned(ws[i], cfg, wsp)
+				out[i], errs[i] = analyzeSpanned(opts.Cache, ws[i], cfg, wsp)
 				if errs[i] == nil {
 					obsSweepUnits.Add(1)
 				}

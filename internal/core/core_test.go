@@ -201,11 +201,16 @@ func TestObservabilitySpansAndCounters(t *testing.T) {
 		names[s.Name]++
 	}
 	nw := len(workloads.All())
-	// One span per pipeline stage per workload, plus the sweep root and the
-	// per-worker utilization spans.
+	// One span per pipeline stage per workload ("inline", "profile",
+	// "select", "frame", "target"), their characteristic children
+	// ("capture" under profile, "characterize"/"braids" under select,
+	// "select: *" and "target: *" under target), plus the sweep root and
+	// the per-worker utilization spans.
 	for _, stage := range []string{
-		"inline", "capture", "characterize", "braids",
+		"inline", "profile", "select", "frame", "target",
+		"capture", "characterize", "braids",
 		"select: path", "select: braid", "select: hyperblock",
+		"target: sim", "target: cgra", "target: hls", "target: energy",
 	} {
 		if names[stage] != nw {
 			t.Errorf("stage %q: %d spans, want %d", stage, names[stage], nw)
@@ -220,14 +225,16 @@ func TestObservabilitySpansAndCounters(t *testing.T) {
 	if got := names["analyze 164.gzip"]; got != 1 {
 		t.Errorf("analyze span for 164.gzip: %d, want 1", got)
 	}
-	for _, c := range []string{"core.analyses", "pm.cache.hits", "pm.cache.misses",
-		"interp.runs.fast", "interp.instrs.fast", "sim.captures"} {
+	for _, c := range []string{"core.analyses", "pipeline.runs", "pm.cache.hits",
+		"pm.cache.misses", "interp.runs.fast", "interp.instrs.fast", "sim.captures"} {
 		if v := obs.GetCounter(c).Value(); v <= 0 {
 			t.Errorf("counter %s = %d, want > 0", c, v)
 		}
 	}
-	if v := obs.GetCounter("core.analyses").Value(); v != int64(nw) {
-		t.Errorf("core.analyses = %d, want %d", v, nw)
+	for _, c := range []string{"core.analyses", "pipeline.runs"} {
+		if v := obs.GetCounter(c).Value(); v != int64(nw) {
+			t.Errorf("%s = %d, want %d", c, v, nw)
+		}
 	}
 }
 

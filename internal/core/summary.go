@@ -44,6 +44,11 @@ type Summary struct {
 	HLSALMs        int     `json:"hlsALMs"`
 	HLSUtilization float64 `json:"hlsUtilization"`
 	HLSPowerMW     float64 `json:"hlsPowerMW"`
+
+	// FrameError records a hot-braid frame construction failure (empty on
+	// success or when no braid was framed), so JSON consumers can tell a
+	// legitimately zero HLS block from a failed one.
+	FrameError string `json:"frameError,omitempty"`
 }
 
 // OffloadSummary condenses one sim.Result.
@@ -98,6 +103,9 @@ func Summarize(a *Analysis) Summary {
 		s.HotPathOps = hot.Ops
 		s.HotPathBr = hot.Branches
 		s.HotPathMemOps = hot.MemOps
+	}
+	if a.FrameErr != nil {
+		s.FrameError = a.FrameErr.Error()
 	}
 	if br := a.HottestBraid(); br != nil {
 		s.BraidMerged = br.MergedPathCount()

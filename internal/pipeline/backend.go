@@ -1,0 +1,53 @@
+package pipeline
+
+import (
+	"fmt"
+	"sync"
+)
+
+// Report is the typed result of one target backend's evaluation. Concrete
+// report types live next to their backends (internal/target); consumers
+// retrieve them with Artifacts.Report and a type assertion.
+type Report interface {
+	// BackendName echoes the producing backend's Name.
+	BackendName() string
+}
+
+// Backend is a pluggable evaluation target. The Target stage calls every
+// registered backend against the run's artifacts; sim, cgra, hls, and
+// energy are the built-in implementations (internal/target), and new
+// accelerator models plug in by registering here — the pipeline itself
+// never changes.
+//
+// Evaluate must treat the artifacts as read-only: with a Cache in play the
+// upstream artifacts are shared across runs and goroutines.
+type Backend interface {
+	Name() string
+	Evaluate(a *Artifacts) (Report, error)
+}
+
+var registry struct {
+	mu       sync.RWMutex
+	backends []Backend
+}
+
+// Register adds a backend to the Target stage's evaluation set. Backends
+// run in registration order; registering two backends with the same name
+// panics (it is a wiring bug, like a duplicate flag registration).
+func Register(b Backend) {
+	registry.mu.Lock()
+	defer registry.mu.Unlock()
+	for _, x := range registry.backends {
+		if x.Name() == b.Name() {
+			panic(fmt.Sprintf("pipeline: backend %q registered twice", b.Name()))
+		}
+	}
+	registry.backends = append(registry.backends, b)
+}
+
+// Backends returns the registered backends in registration order.
+func Backends() []Backend {
+	registry.mu.RLock()
+	defer registry.mu.RUnlock()
+	return append([]Backend(nil), registry.backends...)
+}

@@ -1,0 +1,100 @@
+package pipeline
+
+import (
+	"sync"
+
+	"needle/internal/obs"
+)
+
+// Observability counters (no-ops until obs.Enable): stage-artifact cache
+// behaviour across every Cache in the process.
+var (
+	obsCacheHits   = obs.GetCounter("pipeline.cache.hits")
+	obsCacheMisses = obs.GetCounter("pipeline.cache.misses")
+)
+
+// Cache shares cacheable stage artifacts across pipeline runs. Artifacts
+// are keyed by (workload, cumulative upstream-config fingerprint), so runs
+// that differ only in downstream knobs — predictor history bits, CGRA
+// parameters, selection bounds — reuse the expensive Inline/Profile/Select
+// artifacts instead of recomputing them.
+//
+// A Cache is safe for concurrent use; concurrent runs that miss on the
+// same key compute the artifact once (the laggards block and share the
+// result). Stage errors are cached too, so a deterministic failure is
+// reported identically on reuse. The zero value is not usable; call
+// NewCache.
+type Cache struct {
+	mu      sync.Mutex
+	entries map[string]*cacheEntry
+	stats   map[string]*CacheStats
+}
+
+type cacheEntry struct {
+	once sync.Once
+	val  any
+	err  error
+}
+
+// CacheStats counts one stage's cache behaviour.
+type CacheStats struct {
+	Hits   int64
+	Misses int64
+}
+
+// NewCache returns an empty artifact cache.
+func NewCache() *Cache {
+	return &Cache{
+		entries: make(map[string]*cacheEntry),
+		stats:   make(map[string]*CacheStats),
+	}
+}
+
+// do returns the cached artifact for key, computing it with f on first
+// use. hit reports whether the artifact (or its error) already existed —
+// a concurrent first computation counts as a hit for the waiters.
+func (c *Cache) do(stage, key string, f func() (any, error)) (val any, err error, hit bool) {
+	c.mu.Lock()
+	e, ok := c.entries[key]
+	if !ok {
+		e = &cacheEntry{}
+		c.entries[key] = e
+	}
+	st := c.stats[stage]
+	if st == nil {
+		st = &CacheStats{}
+		c.stats[stage] = st
+	}
+	if ok {
+		st.Hits++
+	} else {
+		st.Misses++
+	}
+	c.mu.Unlock()
+	if ok {
+		obsCacheHits.Add(1)
+	} else {
+		obsCacheMisses.Add(1)
+	}
+	e.once.Do(func() { e.val, e.err = f() })
+	return e.val, e.err, ok
+}
+
+// Stats returns a copy of the per-stage hit/miss counts, keyed by stage
+// name.
+func (c *Cache) Stats() map[string]CacheStats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make(map[string]CacheStats, len(c.stats))
+	for k, v := range c.stats {
+		out[k] = *v
+	}
+	return out
+}
+
+// Len returns the number of cached stage artifacts.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.entries)
+}

@@ -1,0 +1,357 @@
+// Package pipeline is the staged decomposition of the Needle flow (the
+// paper's Figure 1): Inline → Profile → Select → Frame → Target. Each stage
+// is a pure (artifacts, config) → artifacts step with a typed artifact
+// struct, and each declares a fingerprint over exactly the Config fields it
+// reads. That split buys two things the old monolithic core.Analyze could
+// not offer:
+//
+//   - Pluggable targets: the Target stage evaluates every registered
+//     Backend (internal/target provides sim, cgra, hls, and energy), so new
+//     accelerator models plug in without touching the pipeline.
+//   - Cross-config artifact reuse: a Cache keys each stage's artifact by
+//     (workload, cumulative upstream fingerprint), so a sweep over
+//     downstream knobs — predictor history bits, guard placement, CGRA
+//     parameters — shares the expensive Inline/Profile/Select artifacts
+//     instead of re-profiling the workload per configuration.
+//
+// core.Analyze and friends remain as thin compatibility wrappers over Run
+// and produce byte-identical output.
+package pipeline
+
+import (
+	"fmt"
+
+	"needle/internal/frame"
+	"needle/internal/ir"
+	"needle/internal/obs"
+	"needle/internal/passes"
+	"needle/internal/pm"
+	"needle/internal/region"
+	"needle/internal/sim"
+	"needle/internal/workloads"
+)
+
+// Observability counters (no-ops until obs.Enable).
+var (
+	obsRuns      = obs.GetCounter("pipeline.runs")
+	obsFrameErrs = obs.GetCounter("pipeline.frame.errors")
+)
+
+// Config controls an analysis run. It is the same type the core package
+// exposes as core.Config (a type alias), so callers can move between the
+// staged API and the compatibility wrappers freely.
+type Config struct {
+	// Sim holds the hardware model parameters (Table V defaults).
+	Sim sim.Config
+	// N overrides the workload problem size; 0 keeps the default.
+	N int
+	// TopPaths bounds how many ranked paths detailed reports include.
+	TopPaths int
+	// ColdFraction is the hyperblock cold-op threshold (Figure 5).
+	ColdFraction float64
+	// SelectTopK bounds the filter-and-rank candidate search.
+	SelectTopK int
+}
+
+// DefaultConfig returns the paper's evaluation configuration.
+func DefaultConfig() Config {
+	return Config{
+		Sim:          sim.DefaultConfig(),
+		TopPaths:     5,
+		ColdFraction: 0.1,
+		SelectTopK:   3,
+	}
+}
+
+// WithDefaults normalizes a config field by field: every zero-valued field
+// takes its DefaultConfig value, and every field the caller set survives. A
+// partially-filled Config (say, a custom Sim with TopPaths left zero) is
+// therefore honored rather than silently replaced wholesale — N is the one
+// exception, where zero legitimately means "the workload's default size".
+//
+// Run normalizes before fingerprinting, so a zero Config and an explicit
+// DefaultConfig() hit the same cache entries.
+func (c Config) WithDefaults() Config {
+	d := DefaultConfig()
+	if c.Sim == (sim.Config{}) {
+		c.Sim = d.Sim
+	}
+	if c.TopPaths == 0 {
+		c.TopPaths = d.TopPaths
+	}
+	if c.ColdFraction == 0 {
+		c.ColdFraction = d.ColdFraction
+	}
+	if c.SelectTopK == 0 {
+		c.SelectTopK = d.SelectTopK
+	}
+	return c
+}
+
+// InlineArtifact is the Inline stage's output: the workload instance with
+// its hot function aggressively inlined (Section II-A), plus the analysis
+// manager that owns every cached analysis of that function. Args and Memory
+// are the pristine initial state; stages that execute the function copy
+// them first, so the artifact can be shared across runs.
+type InlineArtifact struct {
+	AM     *pm.Manager
+	F      *ir.Function
+	Args   []uint64
+	Memory []uint64
+}
+
+// ProfileArtifact is the Profile stage's output: the captured baseline
+// execution (Ball-Larus path profile, per-occurrence cycle attribution,
+// branch histories, host energy).
+type ProfileArtifact struct {
+	Trace *sim.Trace
+}
+
+// SelectArtifact is the Select stage's output: the static control-flow
+// characterization (Table I) and every braid ranked by weight (Table IV).
+type SelectArtifact struct {
+	CFStats region.ControlFlowStats
+	Braids  []*region.Braid
+}
+
+// FrameArtifact is the Frame stage's output: the software frame of the top
+// braid. HotBraidFrame is nil when the workload formed no braids or when
+// frame construction failed; FrameErr distinguishes the two (it records the
+// frame.Build error, and is nil when no build was attempted or the build
+// succeeded).
+type FrameArtifact struct {
+	HotBraidFrame *frame.Frame
+	FrameErr      error
+}
+
+// TargetArtifact is the Target stage's output: one typed Report per
+// registered backend, in registration order.
+type TargetArtifact struct {
+	Reports []Report
+}
+
+// Artifacts is the artifact context threaded through the stages: the run's
+// identity (workload + normalized config), its observability span, and one
+// typed artifact per completed stage. When a Cache is in use, upstream
+// artifacts may be shared with other runs — stages treat them as read-only.
+type Artifacts struct {
+	Workload *workloads.Workload
+	Config   Config
+	// Span is the run's observability span; stages and backends parent
+	// their spans under it. The run's pm.Manager travels in Inline.AM.
+	Span *obs.Span
+
+	Inline  *InlineArtifact
+	Profile *ProfileArtifact
+	Select  *SelectArtifact
+	Frame   *FrameArtifact
+	Target  *TargetArtifact
+}
+
+// Report returns the named backend's report, or nil if the Target stage has
+// not run or the backend is not registered.
+func (a *Artifacts) Report(name string) Report {
+	if a.Target == nil {
+		return nil
+	}
+	for _, r := range a.Target.Reports {
+		if r.BackendName() == name {
+			return r
+		}
+	}
+	return nil
+}
+
+// Stage is one named step of the pipeline.
+type Stage struct {
+	// Name identifies the stage ("inline", "profile", "select", "frame",
+	// "target") in spans, cache statistics, and documentation.
+	Name string
+	// Fingerprint serializes exactly the Config fields this stage reads.
+	// A stage's cache key is the workload plus the cumulative fingerprints
+	// of itself and every upstream stage, so two configs that agree on the
+	// upstream knobs share upstream artifacts.
+	Fingerprint func(Config) string
+	// cacheable marks stages whose artifact a Cache may share across runs.
+	// The Target stage always evaluates fresh: it is the downstream end of
+	// every sweep and memoizing it would hide exactly the work ablations
+	// measure.
+	cacheable bool
+	// run computes the stage artifact from the upstream artifacts. It must
+	// not mutate them. sp is the stage's span.
+	run func(a *Artifacts, sp *obs.Span) (any, error)
+	// apply installs the (possibly cached) artifact into the context.
+	apply func(a *Artifacts, out any)
+}
+
+// stages is the pipeline in execution order.
+var stages = []Stage{inlineStage, profileStage, selectStage, frameStage, targetStage}
+
+// StageNames lists the pipeline's stages in execution order.
+func StageNames() []string {
+	names := make([]string, len(stages))
+	for i, st := range stages {
+		names[i] = st.Name
+	}
+	return names
+}
+
+var inlineStage = Stage{
+	Name:        "inline",
+	Fingerprint: func(c Config) string { return fmt.Sprintf("n=%d", c.N) },
+	cacheable:   true,
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		f, args, memory := a.Workload.Instance(a.Config.N)
+		// The artifact owns a fresh analysis manager: every cached analysis
+		// of the inlined function (dominators, liveness, execution plans)
+		// is computed once and shared by every run that reuses the
+		// artifact. The manager carries the creating run's span, parenting
+		// the pass-manager and capture spans recorded below it.
+		am := pm.NewManager()
+		am.SetSpan(a.Span)
+		f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(f)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: inlining %s: %w", a.Workload.Name, err)
+		}
+		return &InlineArtifact{AM: am, F: f, Args: args, Memory: memory}, nil
+	},
+	apply: func(a *Artifacts, out any) { a.Inline = out.(*InlineArtifact) },
+}
+
+var profileStage = Stage{
+	Name: "profile",
+	Fingerprint: func(c Config) string {
+		// Capture reads the host model only: OOO core, cache hierarchy,
+		// CPU energy constants, and the step bound. CGRA/frame/predictor
+		// parameters are downstream knobs and must not fragment the key.
+		return fmt.Sprintf("ooo=%+v mem=%+v cpu=%+v maxsteps=%d",
+			c.Sim.OOO, c.Sim.Mem, c.Sim.CPU, c.Sim.MaxSteps)
+	},
+	cacheable: true,
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		in := a.Inline
+		// Execution consumes the memory image; copy the pristine state so
+		// the shared InlineArtifact stays reusable.
+		args := append([]uint64(nil), in.Args...)
+		memory := append([]uint64(nil), in.Memory...)
+		tr, err := sim.Capture(in.AM, in.F, args, memory, a.Config.Sim)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: capturing %s: %w", a.Workload.Name, err)
+		}
+		return &ProfileArtifact{Trace: tr}, nil
+	},
+	apply: func(a *Artifacts, out any) { a.Profile = out.(*ProfileArtifact) },
+}
+
+var selectStage = Stage{
+	Name: "select",
+	// Characterization and braid formation depend only on the profile.
+	Fingerprint: func(Config) string { return "" },
+	cacheable:   true,
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		csp := sp.Child("characterize")
+		stats := region.Characterize(a.Inline.AM, a.Inline.F)
+		csp.End()
+		bsp := sp.Child("braids")
+		braids := region.BuildBraids(a.Profile.Trace.Profile, 0)
+		bsp.End()
+		return &SelectArtifact{CFStats: stats, Braids: braids}, nil
+	},
+	apply: func(a *Artifacts, out any) { a.Select = out.(*SelectArtifact) },
+}
+
+var frameStage = Stage{
+	Name:        "frame",
+	Fingerprint: func(c Config) string { return fmt.Sprintf("opts=%+v", c.Sim.Frame) },
+	cacheable:   true,
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		out := &FrameArtifact{}
+		if len(a.Select.Braids) == 0 {
+			return out, nil
+		}
+		fr, err := frame.Build(a.Inline.AM, &a.Select.Braids[0].Region, a.Config.Sim.Frame)
+		if err != nil {
+			// Frame construction failing for the hot braid is survivable —
+			// the target evaluations run regardless — but it must not be
+			// silent: record it for the caller (the FrameErr contract).
+			out.FrameErr = fmt.Errorf("pipeline: framing hot braid of %s: %w", a.Workload.Name, err)
+			obsFrameErrs.Add(1)
+			sp.SetArg("error", err.Error())
+			return out, nil
+		}
+		out.HotBraidFrame = fr
+		return out, nil
+	},
+	apply: func(a *Artifacts, out any) { a.Frame = out.(*FrameArtifact) },
+}
+
+var targetStage = Stage{
+	Name: "target",
+	Fingerprint: func(c Config) string {
+		return fmt.Sprintf("cgra=%+v cpu=%+v hist=%d topk=%d cold=%g top=%d",
+			c.Sim.CGRA, c.Sim.CPU, c.Sim.HistBits, c.SelectTopK, c.ColdFraction, c.TopPaths)
+	},
+	cacheable: false,
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		bs := Backends()
+		out := &TargetArtifact{Reports: make([]Report, 0, len(bs))}
+		for _, b := range bs {
+			bsp := sp.Child("target: " + b.Name())
+			rep, err := b.Evaluate(a)
+			bsp.End()
+			if err != nil {
+				return nil, fmt.Errorf("pipeline: target %s on %s: %w", b.Name(), a.Workload.Name, err)
+			}
+			out.Reports = append(out.Reports, rep)
+		}
+		return out, nil
+	},
+	apply: func(a *Artifacts, out any) { a.Target = out.(*TargetArtifact) },
+}
+
+// RunOptions configures one pipeline run.
+type RunOptions struct {
+	// Parent is the observability span the run's span is parented under
+	// (nil for a root span).
+	Parent *obs.Span
+	// Cache shares cacheable stage artifacts across runs; nil computes
+	// everything fresh.
+	Cache *Cache
+}
+
+// Run executes the staged pipeline on one workload. Zero-valued Config
+// fields are filled from DefaultConfig field by field. With a Cache, the
+// Inline/Profile/Select/Frame artifacts are reused whenever the workload
+// and the cumulative upstream fingerprint match a prior run; the Target
+// stage always evaluates fresh against the (possibly shared) upstream
+// artifacts.
+func Run(w *workloads.Workload, cfg Config, opts RunOptions) (*Artifacts, error) {
+	cfg = cfg.WithDefaults()
+	sp := opts.Parent.Child("analyze " + w.Name)
+	defer sp.End()
+	obsRuns.Add(1)
+
+	a := &Artifacts{Workload: w, Config: cfg, Span: sp}
+	key := w.Name
+	for _, st := range stages {
+		key += "|" + st.Name + "{" + st.Fingerprint(cfg) + "}"
+		ssp := sp.Child(st.Name)
+		var out any
+		var err error
+		if opts.Cache != nil && st.cacheable {
+			var hit bool
+			out, err, hit = opts.Cache.do(st.Name, key, func() (any, error) {
+				return st.run(a, ssp)
+			})
+			ssp.SetArg("cached", hit)
+		} else {
+			out, err = st.run(a, ssp)
+		}
+		ssp.End()
+		if err != nil {
+			return nil, err
+		}
+		st.apply(a, out)
+	}
+	return a, nil
+}

@@ -5,6 +5,7 @@
 package tables
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -26,14 +27,23 @@ type Suite struct {
 // Run analyzes every workload at the configured problem size with the
 // default degree of parallelism (GOMAXPROCS).
 func Run(cfg core.Config) (*Suite, error) {
-	return RunJobs(cfg, 0)
+	return RunCtx(context.Background(), cfg, core.Options{})
 }
 
 // RunJobs analyzes every workload on a bounded pool of `jobs` workers
 // (GOMAXPROCS when jobs <= 0, serial when jobs == 1). Row order and values
 // are identical regardless of jobs.
 func RunJobs(cfg core.Config, jobs int) (*Suite, error) {
-	as, err := core.AnalyzeAllJobs(cfg, jobs)
+	return RunCtx(context.Background(), cfg, core.Options{Jobs: jobs})
+}
+
+// RunCtx analyzes every workload under ctx: cancelling it stops the sweep
+// between workloads and returns ctx.Err(). Options passes through to
+// core.AnalyzeAllCtx — a bounded worker pool via Jobs, and stage-artifact
+// sharing across configs via Cache. Row order and values are independent of
+// both.
+func RunCtx(ctx context.Context, cfg core.Config, opts core.Options) (*Suite, error) {
+	as, err := core.AnalyzeAllCtx(ctx, cfg, opts)
 	if err != nil {
 		return nil, err
 	}

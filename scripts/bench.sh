@@ -1,9 +1,15 @@
 #!/bin/sh
 # bench.sh — the repo's performance gate. Runs the sweep benchmarks, writes
 # the results to BENCH_<date>.json (the perf-trajectory artifact), and fails
-# if BenchmarkSweep — the end-to-end 29-workload profiling+evaluation sweep —
-# regresses more than 15% against the checked-in baseline in
-# scripts/bench_baseline.json.
+# if either gate regresses against the checked-in baseline in
+# scripts/bench_baseline.json:
+#
+#   - BenchmarkSweep — the end-to-end 29-workload profiling+evaluation
+#     sweep — more than 15% slower than sweep_ns_per_op;
+#   - BenchmarkAblationPredictor/cached — the downstream-knob ablation sweep
+#     through the shared artifact cache — more than 15% slower than
+#     ablation_cached_ns_per_op, or less than 1.5x faster than its own
+#     /fresh variant (the staged pipeline's artifact-reuse win).
 #
 #   ./scripts/bench.sh            (or: make bench)
 #   BENCH_TIME=10x ./scripts/bench.sh   # more iterations, less noise
@@ -14,12 +20,13 @@
 #       cost the paper pipeline pays by default)
 #
 # To accept a new baseline after an intentional change, update
-# scripts/bench_baseline.json with the sweep_ns_per_op this script reports.
+# scripts/bench_baseline.json with the sweep_ns_per_op and
+# ablation_cached_ns_per_op this script reports.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benches='^(BenchmarkSweep|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel)$'
+benches='^(BenchmarkSweep|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
 benchtime="${BENCH_TIME:-5x}"
 
 echo "running sweep benchmarks (benchtime $benchtime)..."
@@ -27,6 +34,7 @@ out=$(go test -run '^$' -bench "$benches" -benchtime "$benchtime" .)
 echo "$out"
 
 # Benchmark lines look like:  BenchmarkSweep[-N]  5  132523001 ns/op [...]
+# Sub-benchmark names pass through verbatim (e.g. BenchmarkAblationPredictor/cached).
 ns_of() {
     echo "$out" | awk -v name="$1" '$1 ~ "^"name"(-[0-9]+)?$" { print $3; exit }'
 }
@@ -34,6 +42,12 @@ ns_of() {
 sweep=$(ns_of BenchmarkSweep)
 if [ -z "$sweep" ]; then
     echo "bench: BenchmarkSweep produced no result" >&2
+    exit 1
+fi
+abl_fresh=$(ns_of 'BenchmarkAblationPredictor/fresh')
+abl_cached=$(ns_of 'BenchmarkAblationPredictor/cached')
+if [ -z "$abl_fresh" ] || [ -z "$abl_cached" ]; then
+    echo "bench: BenchmarkAblationPredictor produced no result" >&2
     exit 1
 fi
 
@@ -45,9 +59,12 @@ file="BENCH_${date}.json"
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"benchtime\": \"${benchtime}\","
     echo "  \"sweep_ns_per_op\": ${sweep},"
+    echo "  \"ablation_fresh_ns_per_op\": ${abl_fresh},"
+    echo "  \"ablation_cached_ns_per_op\": ${abl_cached},"
     echo "  \"benchmarks\": {"
     first=1
-    for b in BenchmarkSweep BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel; do
+    for b in BenchmarkSweep BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel \
+             BenchmarkAblationPredictor/fresh BenchmarkAblationPredictor/cached; do
         ns=$(ns_of "$b")
         [ -z "$ns" ] && continue
         [ "$first" = 1 ] || echo ","
@@ -66,24 +83,43 @@ if [ -n "${BENCH_TRACE:-}" ]; then
     go run ./cmd/needle -bench-json -trace "$BENCH_TRACE" > /dev/null
 fi
 
+# Reuse gate: the cached ablation sweep must beat the fresh one by >= 1.5x,
+# independent of any baseline — this pins the artifact-cache win itself.
+echo "AblationPredictor: fresh ${abl_fresh} ns/op, cached ${abl_cached} ns/op"
+awk -v fresh="$abl_fresh" -v cached="$abl_cached" 'BEGIN {
+    ratio = fresh / cached
+    if (ratio < 1.5) {
+        printf "bench: FAIL — cached ablation sweep only %.2fx faster than fresh (need >= 1.5x)\n", ratio
+        exit 1
+    }
+    printf "bench: ok — artifact reuse %.1fx faster than fresh\n", ratio
+}'
+
 baseline=scripts/bench_baseline.json
 if [ ! -f "$baseline" ]; then
     echo "bench: no baseline ($baseline); skipping regression gate"
     exit 0
 fi
-base=$(sed -n 's/.*"sweep_ns_per_op": *\([0-9][0-9]*\).*/\1/p' "$baseline" | head -n 1)
-if [ -z "$base" ]; then
-    echo "bench: baseline $baseline has no sweep_ns_per_op" >&2
-    exit 1
-fi
 
-echo "BenchmarkSweep: ${sweep} ns/op (baseline ${base} ns/op)"
-awk -v cur="$sweep" -v base="$base" 'BEGIN {
-    limit = base * 1.15
-    if (cur > limit) {
-        printf "bench: FAIL — sweep regressed %.1f%% (>15%% over baseline)\n", (cur/base - 1) * 100
+# gate NAME CURRENT BASELINE-KEY: fail if CURRENT is >15% over the baseline.
+gate() {
+    name=$1; cur=$2; key=$3
+    base=$(sed -n 's/.*"'"$key"'": *\([0-9][0-9]*\).*/\1/p' "$baseline" | head -n 1)
+    if [ -z "$base" ]; then
+        echo "bench: baseline $baseline has no $key" >&2
         exit 1
-    }
-    if (cur < base) printf "bench: ok — %.1f%% faster than baseline\n", (1 - cur/base) * 100
-    else            printf "bench: ok — within noise (%.1f%% over baseline)\n", (cur/base - 1) * 100
-}'
+    fi
+    echo "$name: ${cur} ns/op (baseline ${base} ns/op)"
+    awk -v cur="$cur" -v base="$base" -v name="$name" 'BEGIN {
+        limit = base * 1.15
+        if (cur > limit) {
+            printf "bench: FAIL — %s regressed %.1f%% (>15%% over baseline)\n", name, (cur/base - 1) * 100
+            exit 1
+        }
+        if (cur < base) printf "bench: ok — %s %.1f%% faster than baseline\n", name, (1 - cur/base) * 100
+        else            printf "bench: ok — %s within noise (%.1f%% over baseline)\n", name, (cur/base - 1) * 100
+    }'
+}
+
+gate sweep "$sweep" sweep_ns_per_op
+gate ablation-cached "$abl_cached" ablation_cached_ns_per_op
