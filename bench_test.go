@@ -9,7 +9,9 @@
 package needle_test
 
 import (
+	"context"
 	"fmt"
+	"os"
 	"strings"
 	"sync"
 	"testing"
@@ -153,6 +155,67 @@ func BenchmarkSweep(b *testing.B) {
 			b.Fatal("empty sweep")
 		}
 	}
+}
+
+// BenchmarkSweepWarmStart measures the persistent artifact store's
+// fresh-process warm-start win. "cold" runs the full sweep against an empty
+// cache directory per iteration (every stage computed and persisted);
+// "warm" opens a fresh DiskStore — empty memory tier, a new process's view —
+// on a pre-populated directory per iteration, so every cacheable stage is
+// decoded off disk instead of recomputed. scripts/bench.sh records both and
+// gates on the cold/warm ratio.
+func BenchmarkSweepWarmStart(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.N = benchN
+	ctx := context.Background()
+	sweep := func(b *testing.B, store pipeline.Store) {
+		b.Helper()
+		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Store: store})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(as) == 0 {
+			b.Fatal("empty sweep")
+		}
+	}
+	b.Run("cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			b.StopTimer()
+			dir, err := os.MkdirTemp("", "needle-bench-cold-*")
+			if err != nil {
+				b.Fatal(err)
+			}
+			store, err := pipeline.NewDiskStore(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.StartTimer()
+			sweep(b, store)
+			b.StopTimer()
+			os.RemoveAll(dir)
+			b.StartTimer()
+		}
+	})
+	b.Run("warm", func(b *testing.B) {
+		dir, err := os.MkdirTemp("", "needle-bench-warm-*")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer os.RemoveAll(dir)
+		seed, err := pipeline.NewDiskStore(dir, 0)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sweep(b, seed) // populate the directory once
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			store, err := pipeline.NewDiskStore(dir, 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			sweep(b, store)
+		}
+	})
 }
 
 // ---- micro-benchmarks of the pipeline building blocks ----

@@ -11,6 +11,7 @@
 //	needle -workload 470.lbm          detailed single-workload report
 //	needle -trace out.json            full sweep + Chrome trace timeline
 //	needle -all -metrics              any mode + counter dump on stderr
+//	needle -all -cache-dir ~/.needle  persist stage artifacts; warm-starts reruns
 package main
 
 import (
@@ -27,6 +28,7 @@ import (
 	"needle/internal/core"
 	"needle/internal/ir"
 	"needle/internal/obs"
+	"needle/internal/pipeline"
 	"needle/internal/tables"
 	"needle/internal/workloads"
 )
@@ -46,6 +48,8 @@ func main() {
 		benchOut   = flag.Bool("bench-json", false, "run the full suite and emit wall-clock timings as JSON")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (alone: runs the full sweep)")
 		metricsOut = flag.Bool("metrics", false, "dump pipeline counters and span aggregates to stderr after the run")
+		cacheDir   = flag.String("cache-dir", "", "persist stage artifacts to this directory; later runs warm-start from it")
+		cacheMaxMB = flag.Int("cache-max-mb", 0, "evict least-recently-used artifacts when -cache-dir exceeds this size (0 = unbounded)")
 	)
 	flag.Parse()
 
@@ -59,8 +63,16 @@ func main() {
 	// sweep stops between workloads instead of running all 29 to the end.
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+	var store pipeline.Store
+	if *cacheDir != "" {
+		ds, err := pipeline.NewDiskStore(*cacheDir, *cacheMaxMB)
+		if err != nil {
+			fatal("cache: %v", err)
+		}
+		store = ds
+	}
 	dispatch(ctx, *list, *table, *figure, *all, *workload, *n, *jsonOut, *dotOut,
-		*nirOut, *jobs, *benchOut, observing)
+		*nirOut, *jobs, *benchOut, observing, store)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -78,13 +90,31 @@ func main() {
 		if err := obs.WriteMetrics(os.Stderr); err != nil {
 			fatal("metrics: %v", err)
 		}
+		if store != nil {
+			writeCacheStats(os.Stderr, store)
+		}
+	}
+}
+
+// writeCacheStats prints the store's per-stage cache behaviour, stage
+// order matching the pipeline.
+func writeCacheStats(w *os.File, store pipeline.Store) {
+	stats := store.Stats()
+	fmt.Fprintln(w, "cache stats (per stage):")
+	for _, name := range pipeline.StageNames() {
+		cs, ok := stats[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "  %-8s hits=%d misses=%d disk_hits=%d evictions=%d\n",
+			name, cs.Hits, cs.Misses, cs.DiskHits, cs.Evictions)
 	}
 }
 
 // dispatch runs the selected mode to completion; the observability
 // exporters run after it returns.
 func dispatch(ctx context.Context, list bool, table, figure string, all bool, workload string, n int,
-	jsonOut, dotOut, nirOut bool, jobs int, benchOut, observing bool) {
+	jsonOut, dotOut, nirOut bool, jobs int, benchOut, observing bool, store pipeline.Store) {
 	if list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-20s %-8s %s\n", w.Name, w.Suite, w.Notes)
@@ -97,7 +127,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 
 	switch {
 	case benchOut:
-		benchJSON(ctx, cfg, jobs)
+		benchJSON(ctx, cfg, jobs, store)
 	case workload != "":
 		w := workloads.ByName(workload)
 		if w == nil {
@@ -107,7 +137,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
 			return
 		}
-		a, err := core.Analyze(w, cfg)
+		a, err := core.AnalyzeWithStore(store, w, cfg)
 		if err != nil {
 			fatal("analyze: %v", err)
 		}
@@ -128,7 +158,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 		}
 		report(a)
 	case jsonOut:
-		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs})
+		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -140,7 +170,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 	case figure == "3":
 		fmt.Println(tables.Figure3())
 	case table != "" || figure != "" || all:
-		s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs})
+		s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -186,7 +216,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 		// Observability-only run (`needle -trace out.json`): sweep every
 		// workload so the exported timeline covers the whole pipeline, but
 		// emit no table output.
-		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs})
+		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -200,13 +230,13 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 // benchJSON runs the full analysis sweep and every table/figure renderer,
 // emitting wall-clock timings as JSON — the perf-trajectory artifact future
 // changes are measured against.
-func benchJSON(ctx context.Context, cfg core.Config, jobs int) {
+func benchJSON(ctx context.Context, cfg core.Config, jobs int, store pipeline.Store) {
 	type timing struct {
 		Name string  `json:"name"`
 		Ms   float64 `json:"ms"`
 	}
 	start := time.Now()
-	s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs})
+	s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
 	if err != nil {
 		fatal("analysis sweep: %v", err)
 	}

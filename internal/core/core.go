@@ -107,15 +107,27 @@ func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
 // nothing. A nil cache computes everything fresh; results are identical
 // either way.
 func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return analyzeSpanned(cache, w, cfg, nil)
+	var store pipeline.Store
+	if cache != nil {
+		store = cache
+	}
+	return analyzeSpanned(store, w, cfg, nil)
+}
+
+// AnalyzeWithStore is AnalyzeWith over any artifact store — in particular a
+// pipeline.DiskStore, which warm-starts the run from artifacts a previous
+// process persisted. A nil store computes everything fresh; results are
+// byte-identical either way.
+func AnalyzeWithStore(store pipeline.Store, w *workloads.Workload, cfg Config) (*Analysis, error) {
+	return analyzeSpanned(store, w, cfg, nil)
 }
 
 // analyzeSpanned is Analyze parented under an observability span (nil for a
 // root span; the sweep passes each worker's span so per-workload timelines
 // land on the worker's track).
-func analyzeSpanned(cache *pipeline.Cache, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
+func analyzeSpanned(store pipeline.Store, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
 	obsAnalyses.Add(1)
-	arts, err := pipeline.Run(w, cfg, pipeline.RunOptions{Parent: parent, Cache: cache})
+	arts, err := pipeline.Run(w, cfg, pipeline.RunOptions{Parent: parent, Store: store})
 	if err != nil {
 		return nil, err
 	}
@@ -156,11 +168,25 @@ func fromArtifacts(arts *pipeline.Artifacts) (*Analysis, error) {
 type Options struct {
 	// Jobs bounds the worker pool: GOMAXPROCS when <= 0, serial when 1.
 	Jobs int
-	// Cache shares stage artifacts across the sweep's analyses — and with
-	// any other run handed the same cache, which is how a multi-config
-	// ablation sweep reuses one set of upstream artifacts. Nil analyzes
-	// everything fresh.
+	// Store shares stage artifacts across the sweep's analyses — and with
+	// any other run handed the same store. A pipeline.DiskStore persists
+	// them, so a later process's sweep warm-starts from disk. Nil falls
+	// back to Cache, then to analyzing everything fresh.
+	Store pipeline.Store
+	// Cache is the pre-Store way to share artifacts, kept for
+	// compatibility; it is consulted only when Store is nil.
 	Cache *pipeline.Cache
+}
+
+// store returns the effective artifact store (Store wins, then Cache).
+func (o Options) store() pipeline.Store {
+	if o.Store != nil {
+		return o.Store
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return nil
 }
 
 // AnalyzeAllCtx runs the pipeline over every registered workload on a
@@ -184,6 +210,7 @@ func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, 
 		SetArg("workloads", len(ws)).SetArg("jobs", jobs)
 	defer root.End()
 
+	store := opts.store()
 	out := make([]*Analysis, len(ws))
 	errs := make([]error, len(ws))
 	if jobs <= 1 {
@@ -191,7 +218,7 @@ func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, 
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			a, err := analyzeSpanned(opts.Cache, w, cfg, root)
+			a, err := analyzeSpanned(store, w, cfg, root)
 			if err != nil {
 				return nil, err
 			}
@@ -214,7 +241,7 @@ func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, 
 				if ctx.Err() != nil {
 					continue
 				}
-				out[i], errs[i] = analyzeSpanned(opts.Cache, ws[i], cfg, wsp)
+				out[i], errs[i] = analyzeSpanned(store, ws[i], cfg, wsp)
 				if errs[i] == nil {
 					obsSweepUnits.Add(1)
 				}

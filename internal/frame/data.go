@@ -1,0 +1,118 @@
+package frame
+
+import (
+	"fmt"
+
+	"needle/internal/ir"
+	"needle/internal/region"
+)
+
+// OpData is one frame op with its instruction referenced positionally:
+// the block's index within the function and the instruction's index within
+// that block. Positional references survive serialization because the .nir
+// round trip preserves block order and per-block instruction order exactly.
+type OpData struct {
+	Block  int // ir.Block.Index within the frame's function
+	Instr  int // index into that block's Instrs
+	Deps   []int
+	Guard  bool
+	Select bool
+}
+
+// Data is the pure serializable core of a Frame: every op positionally
+// encoded plus the counters, interface registers, and construction options.
+// The Region is deliberately absent — a frame is rehydrated against the
+// region its braid decodes to, via FromData.
+type Data struct {
+	Ops     []OpData
+	LiveIn  []ir.Reg
+	LiveOut []ir.Reg
+
+	Guards        int
+	Selects       int
+	Cancelled     int
+	Stores        int
+	UndoOps       int
+	Predicates    int
+	HoistedMemOps int
+
+	Carried []CarriedPair
+	Def     map[ir.Reg]int
+	Unroll  int
+	Opts    Options
+}
+
+// Data extracts the serializable core of the frame.
+func (fr *Frame) Data() *Data {
+	d := &Data{
+		Ops:           make([]OpData, len(fr.Ops)),
+		LiveIn:        fr.LiveIn,
+		LiveOut:       fr.LiveOut,
+		Guards:        fr.Guards,
+		Selects:       fr.Selects,
+		Cancelled:     fr.Cancelled,
+		Stores:        fr.Stores,
+		UndoOps:       fr.UndoOps,
+		Predicates:    fr.Predicates,
+		HoistedMemOps: fr.HoistedMemOps,
+		Carried:       fr.Carried,
+		Def:           fr.Def,
+		Unroll:        fr.Unroll,
+		Opts:          fr.opts,
+	}
+	for i, op := range fr.Ops {
+		od := OpData{Block: op.Block.Index, Deps: op.Deps, Guard: op.Guard, Select: op.Select}
+		od.Instr = -1
+		for j, in := range op.Block.Instrs {
+			if in == op.Instr {
+				od.Instr = j
+				break
+			}
+		}
+		d.Ops[i] = od
+	}
+	return d
+}
+
+// BuildOptions returns the options the frame was constructed with (after
+// normalization — defaults filled, predicated overrides applied).
+func (fr *Frame) BuildOptions() Options { return fr.opts }
+
+// FromData rehydrates a frame against r, re-resolving every positional op
+// reference to the region function's blocks and instructions. r must be the
+// same region (structurally) the frame was built from.
+func FromData(r *region.Region, d *Data) (*Frame, error) {
+	fr := &Frame{
+		Region:        r,
+		Ops:           make([]Op, len(d.Ops)),
+		LiveIn:        d.LiveIn,
+		LiveOut:       d.LiveOut,
+		Guards:        d.Guards,
+		Selects:       d.Selects,
+		Cancelled:     d.Cancelled,
+		Stores:        d.Stores,
+		UndoOps:       d.UndoOps,
+		Predicates:    d.Predicates,
+		HoistedMemOps: d.HoistedMemOps,
+		Carried:       d.Carried,
+		Def:           d.Def,
+		Unroll:        d.Unroll,
+		opts:          d.Opts,
+	}
+	for i, od := range d.Ops {
+		if od.Block < 0 || od.Block >= len(r.F.Blocks) {
+			return nil, fmt.Errorf("frame: op %d references block %d of %d", i, od.Block, len(r.F.Blocks))
+		}
+		b := r.F.Blocks[od.Block]
+		if od.Instr < 0 || od.Instr >= len(b.Instrs) {
+			return nil, fmt.Errorf("frame: op %d references instr %d of %d in %s", i, od.Instr, len(b.Instrs), b.Name)
+		}
+		for _, dep := range od.Deps {
+			if dep < 0 || dep >= i {
+				return nil, fmt.Errorf("frame: op %d has forward or negative dep %d", i, dep)
+			}
+		}
+		fr.Ops[i] = Op{Instr: b.Instrs[od.Instr], Block: b, Deps: od.Deps, Guard: od.Guard, Select: od.Select}
+	}
+	return fr, nil
+}

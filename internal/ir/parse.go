@@ -20,8 +20,11 @@ import (
 //	}
 //
 // Comments run from ';' to end of line. Register names are arbitrary
-// identifiers (the printer emits r<N>); the parser renumbers them densely
-// in definition order, parameters first.
+// identifiers. A canonical name of the form r<N> (as the printer emits)
+// keeps register number N, so Parse(Print(f)) reproduces f's register
+// numbering exactly — the property the on-disk artifact codec relies on to
+// reference registers positionally across processes. Any other identifier
+// is assigned the lowest free number in definition order, parameters first.
 func Parse(src string) (*Module, error) {
 	p := &parser{lines: strings.Split(src, "\n")}
 	m := &Module{}
@@ -190,16 +193,36 @@ func (p *parser) parseFunc() (*Function, []pendingCall, error) {
 	}
 	var calls []pendingCall
 	regByName := make(map[string]Reg)
+	used := make(map[Reg]bool)
 	for i := range params {
 		regByName[fmt.Sprintf("r%d", i+1)] = Reg(i + 1)
+		used[Reg(i+1)] = true
 	}
+	next := Reg(1 + len(params))
 	defReg := func(nm string, t Type, line int) (Reg, error) {
 		if _, ok := regByName[nm]; ok {
 			return NoReg, fmt.Errorf("ir: line %d: register %s defined more than once", line+1, nm)
 		}
-		f.RegType = append(f.RegType, t)
-		r := Reg(len(f.RegType) - 1)
+		var r Reg
+		if n, ok := canonicalRegNumber(nm); ok {
+			// Canonical r<N> names pin their number, preserving the printed
+			// function's numbering across a round trip.
+			if used[n] {
+				return NoReg, fmt.Errorf("ir: line %d: register %s conflicts with an earlier definition", line+1, nm)
+			}
+			r = n
+		} else {
+			for used[next] {
+				next++
+			}
+			r = next
+		}
+		for len(f.RegType) <= int(r) {
+			f.RegType = append(f.RegType, I64)
+		}
+		f.RegType[r] = t
 		regByName[nm] = r
+		used[r] = true
 		return r, nil
 	}
 	type pending struct {
@@ -377,6 +400,30 @@ func (p *parser) parsePhi(ri rawInstr, operands string) (rawInstr, error) {
 		return ri, p.errf("phi requires at least one incoming edge")
 	}
 	return ri, nil
+}
+
+// maxCanonicalReg bounds the register number a canonical r<N> name may pin,
+// so a hand-written file cannot force an absurd RegType allocation.
+const maxCanonicalReg = 1 << 20
+
+// canonicalRegNumber reports whether a register name is the printer's
+// canonical r<N> form (no leading zeros) and, if so, its number.
+func canonicalRegNumber(nm string) (Reg, bool) {
+	if len(nm) < 2 || nm[0] != 'r' || nm[1] == '0' {
+		return NoReg, false
+	}
+	n := 0
+	for i := 1; i < len(nm); i++ {
+		c := nm[i]
+		if c < '0' || c > '9' {
+			return NoReg, false
+		}
+		n = n*10 + int(c-'0')
+		if n > maxCanonicalReg {
+			return NoReg, false
+		}
+	}
+	return Reg(n), true
 }
 
 func splitOperands(s string) []string {

@@ -1,16 +1,30 @@
 package pipeline
 
 import (
+	"context"
+	"errors"
 	"sync"
 
 	"needle/internal/obs"
 )
 
 // Observability counters (no-ops until obs.Enable): stage-artifact cache
-// behaviour across every Cache in the process.
+// behaviour across every Cache in the process, in aggregate and per stage
+// (pipeline.cache.<stage>.hits / .misses).
 var (
 	obsCacheHits   = obs.GetCounter("pipeline.cache.hits")
 	obsCacheMisses = obs.GetCounter("pipeline.cache.misses")
+
+	obsStageCache = func() map[string][2]*obs.Counter {
+		m := make(map[string][2]*obs.Counter, len(stages))
+		for _, name := range StageNames() {
+			m[name] = [2]*obs.Counter{
+				obs.GetCounter("pipeline.cache." + name + ".hits"),
+				obs.GetCounter("pipeline.cache." + name + ".misses"),
+			}
+		}
+		return m
+	}()
 )
 
 // Cache shares cacheable stage artifacts across pipeline runs. Artifacts
@@ -22,8 +36,14 @@ var (
 // A Cache is safe for concurrent use; concurrent runs that miss on the
 // same key compute the artifact once (the laggards block and share the
 // result). Stage errors are cached too, so a deterministic failure is
-// reported identically on reuse. The zero value is not usable; call
-// NewCache.
+// reported identically on reuse — except context cancellation errors
+// (context.Canceled, context.DeadlineExceeded), which describe the
+// interrupted run rather than the artifact and are never memoized: a ^C'd
+// stage does not poison its key for later runs. The zero value is not
+// usable; call NewCache.
+//
+// Cache is the in-memory tier of the Store interface; NewDiskStore wraps
+// one with a persistent content-addressed tier.
 type Cache struct {
 	mu      sync.Mutex
 	entries map[string]*cacheEntry
@@ -40,6 +60,12 @@ type cacheEntry struct {
 type CacheStats struct {
 	Hits   int64
 	Misses int64
+	// DiskHits counts memory-tier misses that were served by a persistent
+	// disk tier instead of recomputation (always 0 for a plain Cache).
+	DiskHits int64
+	// Evictions counts on-disk artifacts evicted under the disk tier's
+	// size cap (always 0 for a plain Cache).
+	Evictions int64
 }
 
 // NewCache returns an empty artifact cache.
@@ -48,6 +74,12 @@ func NewCache() *Cache {
 		entries: make(map[string]*cacheEntry),
 		stats:   make(map[string]*CacheStats),
 	}
+}
+
+// Do implements Store: it serves st's artifact from memory, computing it
+// once per key.
+func (c *Cache) Do(st *Stage, _ *Artifacts, key string, compute func() (any, error)) (any, error, bool) {
+	return c.do(st.Name, key, compute)
 }
 
 // do returns the cached artifact for key, computing it with f on first
@@ -71,12 +103,29 @@ func (c *Cache) do(stage, key string, f func() (any, error)) (val any, err error
 		st.Misses++
 	}
 	c.mu.Unlock()
+	if sc, found := obsStageCache[stage]; found {
+		if ok {
+			sc[0].Add(1)
+		} else {
+			sc[1].Add(1)
+		}
+	}
 	if ok {
 		obsCacheHits.Add(1)
 	} else {
 		obsCacheMisses.Add(1)
 	}
 	e.once.Do(func() { e.val, e.err = f() })
+	if e.err != nil && (errors.Is(e.err, context.Canceled) || errors.Is(e.err, context.DeadlineExceeded)) {
+		// Cancellation describes this run, not the artifact: drop the entry
+		// so a later, uncancelled run recomputes instead of inheriting the
+		// interruption forever.
+		c.mu.Lock()
+		if c.entries[key] == e {
+			delete(c.entries, key)
+		}
+		c.mu.Unlock()
+	}
 	return e.val, e.err, ok
 }
 

@@ -182,6 +182,12 @@ type Stage struct {
 	run func(a *Artifacts, sp *obs.Span) (any, error)
 	// apply installs the (possibly cached) artifact into the context.
 	apply func(a *Artifacts, out any)
+	// encode/decode are the stage's persistent codec (codec.go): encode
+	// serializes the artifact's pure data; decode rehydrates attached state
+	// against the in-context upstream artifacts. Stages without a codec
+	// (Target, which is never cached) are served by the memory tier only.
+	encode func(a *Artifacts, out any) ([]byte, error)
+	decode func(a *Artifacts, data []byte) (any, error)
 }
 
 // stages is the pipeline in execution order.
@@ -215,7 +221,9 @@ var inlineStage = Stage{
 		}
 		return &InlineArtifact{AM: am, F: f, Args: args, Memory: memory}, nil
 	},
-	apply: func(a *Artifacts, out any) { a.Inline = out.(*InlineArtifact) },
+	apply:  func(a *Artifacts, out any) { a.Inline = out.(*InlineArtifact) },
+	encode: inlineEncode,
+	decode: inlineDecode,
 }
 
 var profileStage = Stage{
@@ -240,7 +248,9 @@ var profileStage = Stage{
 		}
 		return &ProfileArtifact{Trace: tr}, nil
 	},
-	apply: func(a *Artifacts, out any) { a.Profile = out.(*ProfileArtifact) },
+	apply:  func(a *Artifacts, out any) { a.Profile = out.(*ProfileArtifact) },
+	encode: profileEncode,
+	decode: profileDecode,
 }
 
 var selectStage = Stage{
@@ -257,7 +267,9 @@ var selectStage = Stage{
 		bsp.End()
 		return &SelectArtifact{CFStats: stats, Braids: braids}, nil
 	},
-	apply: func(a *Artifacts, out any) { a.Select = out.(*SelectArtifact) },
+	apply:  func(a *Artifacts, out any) { a.Select = out.(*SelectArtifact) },
+	encode: selectEncode,
+	decode: selectDecode,
 }
 
 var frameStage = Stage{
@@ -282,7 +294,9 @@ var frameStage = Stage{
 		out.HotBraidFrame = fr
 		return out, nil
 	},
-	apply: func(a *Artifacts, out any) { a.Frame = out.(*FrameArtifact) },
+	apply:  func(a *Artifacts, out any) { a.Frame = out.(*FrameArtifact) },
+	encode: frameEncode,
+	decode: frameDecode,
 }
 
 var targetStage = Stage{
@@ -314,33 +328,53 @@ type RunOptions struct {
 	// Parent is the observability span the run's span is parented under
 	// (nil for a root span).
 	Parent *obs.Span
-	// Cache shares cacheable stage artifacts across runs; nil computes
-	// everything fresh.
+	// Store shares cacheable stage artifacts across runs — an in-memory
+	// Cache or a persistent DiskStore; nil computes everything fresh
+	// (unless Cache is set).
+	Store Store
+	// Cache is the pre-Store way to share artifacts, kept for
+	// compatibility; it is consulted only when Store is nil.
 	Cache *Cache
 }
 
+// store returns the effective artifact store: Store wins, then Cache, then
+// nothing.
+func (o RunOptions) store() Store {
+	if o.Store != nil {
+		return o.Store
+	}
+	if o.Cache != nil {
+		return o.Cache
+	}
+	return nil
+}
+
 // Run executes the staged pipeline on one workload. Zero-valued Config
-// fields are filled from DefaultConfig field by field. With a Cache, the
+// fields are filled from DefaultConfig field by field. With a Store, the
 // Inline/Profile/Select/Frame artifacts are reused whenever the workload
-// and the cumulative upstream fingerprint match a prior run; the Target
-// stage always evaluates fresh against the (possibly shared) upstream
-// artifacts.
+// and the cumulative upstream fingerprint match a prior run — from the
+// memory tier, or (for a DiskStore) rehydrated from a previous process's
+// persisted artifacts; the Target stage always evaluates fresh against the
+// (possibly shared) upstream artifacts. Output is byte-identical whichever
+// tier the artifacts come from.
 func Run(w *workloads.Workload, cfg Config, opts RunOptions) (*Artifacts, error) {
 	cfg = cfg.WithDefaults()
 	sp := opts.Parent.Child("analyze " + w.Name)
 	defer sp.End()
 	obsRuns.Add(1)
 
+	store := opts.store()
 	a := &Artifacts{Workload: w, Config: cfg, Span: sp}
 	key := w.Name
-	for _, st := range stages {
+	for i := range stages {
+		st := &stages[i]
 		key += "|" + st.Name + "{" + st.Fingerprint(cfg) + "}"
 		ssp := sp.Child(st.Name)
 		var out any
 		var err error
-		if opts.Cache != nil && st.cacheable {
+		if store != nil && st.cacheable {
 			var hit bool
-			out, err, hit = opts.Cache.do(st.Name, key, func() (any, error) {
+			out, err, hit = store.Do(st, a, key, func() (any, error) {
 				return st.run(a, ssp)
 			})
 			ssp.SetArg("cached", hit)

@@ -1,0 +1,367 @@
+package pipeline
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"needle/internal/workloads"
+)
+
+// testWorkload returns a small, fast workload for store tests.
+func testWorkload(t *testing.T) *workloads.Workload {
+	t.Helper()
+	w := workloads.ByName("470.lbm")
+	if w == nil {
+		t.Fatal("workload 470.lbm not registered")
+	}
+	return w
+}
+
+func testConfig() Config {
+	cfg := DefaultConfig()
+	cfg.N = 400
+	return cfg
+}
+
+// artifactSignature summarizes the observable outputs of a run for equality
+// comparison across cache tiers.
+func artifactSignature(a *Artifacts) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "f=%s blocks=%d regs=%d\n", a.Inline.F.Name, len(a.Inline.F.Blocks), a.Inline.F.NumRegs())
+	tr := a.Profile.Trace
+	fmt.Fprintf(&sb, "cycles=%d energy=%.6f occ=%d paths=%d tw=%d mix=%+v mem=%+v\n",
+		tr.BaselineCycles, tr.BaselineEnergyPJ, len(tr.Occ), len(tr.Profile.Paths), tr.Profile.TotalWeight, tr.Mix, tr.CacheStats)
+	for _, p := range tr.Profile.Paths {
+		fmt.Fprintf(&sb, "path id=%d freq=%d ops=%d w=%d br=%d mem=%d blocks=%d\n",
+			p.ID, p.Freq, p.Ops, p.Weight, p.Branches, p.MemOps, len(p.Blocks))
+	}
+	fmt.Fprintf(&sb, "cf=%+v braids=%d\n", a.Select.CFStats, len(a.Select.Braids))
+	for _, br := range a.Select.Braids {
+		fmt.Fprintf(&sb, "braid paths=%d blocks=%d guards=%d ifs=%d entry=%d exit=%d\n",
+			len(br.Paths), len(br.Blocks), br.Guards, br.IFs, br.Entry.Index, br.Exit.Index)
+	}
+	if fr := a.Frame.HotBraidFrame; fr != nil {
+		fmt.Fprintf(&sb, "frame ops=%d cp=%d guards=%d selects=%d cancelled=%d stores=%d undo=%d hoisted=%d livein=%v liveout=%v carried=%v unroll=%d opts=%+v\n",
+			fr.NumOps(), fr.CriticalPath(), fr.Guards, fr.Selects, fr.Cancelled, fr.Stores, fr.UndoOps,
+			fr.HoistedMemOps, fr.LiveIn, fr.LiveOut, fr.Carried, fr.Unroll, fr.BuildOptions())
+		for i, op := range fr.Ops {
+			fmt.Fprintf(&sb, "op %d %s deps=%v g=%v s=%v\n", i, op.Instr.Op, op.Deps, op.Guard, op.Select)
+		}
+	}
+	if a.Frame.FrameErr != nil {
+		fmt.Fprintf(&sb, "frameerr=%q\n", a.Frame.FrameErr.Error())
+	}
+	for _, rep := range a.Target.Reports {
+		fmt.Fprintf(&sb, "report %s %+v\n", rep.BackendName(), rep)
+	}
+	return sb.String()
+}
+
+// TestDiskStoreWarmStartIdentical is the heart of the persistent-store
+// contract: a second store opened on the same directory (a fresh process's
+// view: empty memory tier) serves every cacheable stage from disk and the
+// run's observable outputs are identical to the cold run's.
+func TestDiskStoreWarmStartIdentical(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+
+	cold, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Run(w, cfg, RunOptions{Store: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := cold.DiskLen(); n != 4 {
+		t.Fatalf("cold run persisted %d artifacts, want 4", n)
+	}
+
+	warm, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(w, cfg, RunOptions{Store: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var diskHits int64
+	for _, cs := range warm.Stats() {
+		diskHits += cs.DiskHits
+	}
+	if diskHits != 4 {
+		t.Fatalf("warm run had %d disk hits, want 4 (stats %+v)", diskHits, warm.Stats())
+	}
+
+	s1, s2 := artifactSignature(a1), artifactSignature(a2)
+	if s1 != s2 {
+		t.Errorf("warm-start run diverged from cold run:\n--- cold ---\n%s\n--- warm ---\n%s", s1, s2)
+	}
+
+	// And both must match a storeless fresh run.
+	a3, err := Run(w, cfg, RunOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s3 := artifactSignature(a3); s3 != s1 {
+		t.Errorf("fresh run diverged from stored runs:\n--- fresh ---\n%s\n--- stored ---\n%s", s3, s1)
+	}
+}
+
+// TestDiskStoreCorruptEntriesAreMisses flips bytes in every persisted
+// artifact and expects the next run to silently recompute — same outputs,
+// zero disk hits.
+func TestDiskStoreCorruptEntriesAreMisses(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+
+	cold, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Run(w, cfg, RunOptions{Store: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	corrupted := 0
+	for _, e := range entries {
+		if !strings.HasSuffix(e.Name(), artifactExt) {
+			continue
+		}
+		path := filepath.Join(dir, e.Name())
+		raw, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw[len(raw)/2] ^= 0xff
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		corrupted++
+	}
+	if corrupted != 4 {
+		t.Fatalf("corrupted %d artifacts, want 4", corrupted)
+	}
+
+	warm, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(w, cfg, RunOptions{Store: warm})
+	if err != nil {
+		t.Fatalf("run over corrupt store must recompute, got %v", err)
+	}
+	for stage, cs := range warm.Stats() {
+		if cs.DiskHits != 0 {
+			t.Errorf("stage %s had %d disk hits off corrupt artifacts", stage, cs.DiskHits)
+		}
+	}
+	if s1, s2 := artifactSignature(a1), artifactSignature(a2); s1 != s2 {
+		t.Errorf("recomputed run diverged:\n%s\nvs\n%s", s1, s2)
+	}
+}
+
+// TestDiskStoreTruncatedHeaderIsMiss covers the torn-write shape separately
+// from payload corruption.
+func TestDiskStoreTruncatedHeaderIsMiss(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+	cold, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, cfg, RunOptions{Store: cold}); err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	for _, e := range entries {
+		if strings.HasSuffix(e.Name(), artifactExt) {
+			if err := os.WriteFile(filepath.Join(dir, e.Name()), []byte("needle-art"), 0o644); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	warm, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, cfg, RunOptions{Store: warm}); err != nil {
+		t.Fatalf("truncated artifacts must be misses, got %v", err)
+	}
+	for stage, cs := range warm.Stats() {
+		if cs.DiskHits != 0 {
+			t.Errorf("stage %s hit a truncated artifact", stage)
+		}
+	}
+}
+
+// TestDiskStoreEviction caps the store at 0 MB (everything over budget) and
+// expects artifacts to be evicted after each write.
+func TestDiskStoreEviction(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+	s, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.maxBytes = 1 // effectively: keep nothing
+	if _, err := Run(w, cfg, RunOptions{Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	if n := s.DiskLen(); n != 0 {
+		t.Errorf("store kept %d artifacts under a 1-byte cap", n)
+	}
+	var evictions int64
+	for _, cs := range s.Stats() {
+		evictions += cs.Evictions
+	}
+	if evictions == 0 {
+		t.Error("no evictions recorded")
+	}
+	// The run itself must be unaffected (memory tier served it), and a
+	// subsequent store finds nothing — all misses, no failures.
+	warm, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	warm.maxBytes = 1
+	if _, err := Run(w, cfg, RunOptions{Store: warm}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDiskStoreStatsShape pins the merged Stats view: memory hits/misses
+// from the front tier, DiskHits from the persistent tier.
+func TestDiskStoreStatsShape(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+	s, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, cfg, RunOptions{Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(w, cfg, RunOptions{Store: s}); err != nil {
+		t.Fatal(err)
+	}
+	stats := s.Stats()
+	for _, stage := range []string{"inline", "profile", "select", "frame"} {
+		cs := stats[stage]
+		if cs.Misses != 1 || cs.Hits != 1 {
+			t.Errorf("stage %s: %+v, want 1 miss (cold) + 1 memory hit (second run)", stage, cs)
+		}
+		if cs.DiskHits != 0 {
+			t.Errorf("stage %s: %d disk hits within one process, want 0", stage, cs.DiskHits)
+		}
+	}
+	if _, ok := stats["target"]; ok {
+		t.Error("target stage must never touch the store")
+	}
+}
+
+// TestCacheDoesNotCacheCancellation is the regression test for the
+// ctx-error poisoning bug: a cancelled stage must not memoize its
+// cancellation for later runs.
+func TestCacheDoesNotCacheCancellation(t *testing.T) {
+	for _, ctxErr := range []error{context.Canceled, context.DeadlineExceeded} {
+		c := NewCache()
+		calls := 0
+		wrapped := fmt.Errorf("pipeline: capturing x: %w", ctxErr)
+		if _, err, _ := c.do("profile", "k", func() (any, error) { calls++; return nil, wrapped }); !errors.Is(err, ctxErr) {
+			t.Fatalf("want %v, got %v", ctxErr, err)
+		}
+		v, err, _ := c.do("profile", "k", func() (any, error) { calls++; return "artifact", nil })
+		if err != nil || v != "artifact" {
+			t.Fatalf("%v poisoned the key: v=%v err=%v", ctxErr, v, err)
+		}
+		if calls != 2 {
+			t.Fatalf("compute ran %d times, want 2 (cancellation must not memoize)", calls)
+		}
+	}
+	// Deterministic failures still memoize (the documented contract).
+	c := NewCache()
+	calls := 0
+	boom := errors.New("boom")
+	c.do("profile", "k", func() (any, error) { calls++; return nil, boom })
+	if _, err, hit := c.do("profile", "k", func() (any, error) { calls++; return nil, nil }); !errors.Is(err, boom) || !hit {
+		t.Fatalf("deterministic error not cached: err=%v hit=%v", err, hit)
+	}
+	if calls != 1 {
+		t.Fatalf("deterministic failure recomputed (%d calls)", calls)
+	}
+}
+
+// TestStagesDeclareCodecs pins which stages are persistable: every
+// cacheable stage must have a codec, the Target stage must not.
+func TestStagesDeclareCodecs(t *testing.T) {
+	for i := range stages {
+		st := &stages[i]
+		hasCodec := st.encode != nil && st.decode != nil
+		if st.cacheable && !hasCodec {
+			t.Errorf("cacheable stage %q has no persistent codec", st.Name)
+		}
+		if !st.cacheable && hasCodec {
+			t.Errorf("uncacheable stage %q declares a codec it can never use", st.Name)
+		}
+	}
+}
+
+// TestDiskStoreMixedTiers decodes downstream artifacts against a freshly
+// computed upstream: delete only the inline artifact from disk, warm-start,
+// and expect profile/select/frame to decode against the recomputed function
+// with identical results.
+func TestDiskStoreMixedTiers(t *testing.T) {
+	dir := t.TempDir()
+	w, cfg := testWorkload(t), testConfig()
+	cold, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a1, err := Run(w, cfg, RunOptions{Store: cold})
+	if err != nil {
+		t.Fatal(err)
+	}
+	entries, _ := os.ReadDir(dir)
+	removed := 0
+	for _, e := range entries {
+		if strings.HasPrefix(e.Name(), "inline-") {
+			if err := os.Remove(filepath.Join(dir, e.Name())); err != nil {
+				t.Fatal(err)
+			}
+			removed++
+		}
+	}
+	if removed != 1 {
+		t.Fatalf("removed %d inline artifacts, want 1", removed)
+	}
+	warm, err := NewDiskStore(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a2, err := Run(w, cfg, RunOptions{Store: warm})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stats := warm.Stats()
+	if stats["inline"].DiskHits != 0 || stats["profile"].DiskHits != 1 {
+		t.Fatalf("unexpected tier mix: %+v", stats)
+	}
+	if s1, s2 := artifactSignature(a1), artifactSignature(a2); s1 != s2 {
+		t.Errorf("mixed-tier run diverged:\n%s\nvs\n%s", s1, s2)
+	}
+	if !reflect.DeepEqual(stats["select"].DiskHits, int64(1)) {
+		t.Errorf("select stage not served from disk: %+v", stats["select"])
+	}
+}

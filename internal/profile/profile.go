@@ -274,10 +274,20 @@ func (c *Collector) Finish() (*FunctionProfile, error) {
 		BlockCounts: c.blocks,
 		byID:        make(map[int64]*Path),
 	}
-	for id, freq := range c.profiler.Counts {
-		blocks, err := c.dag.Decode(id)
+	if err := fp.rankCounts(c.profiler.Counts); err != nil {
+		return nil, err
+	}
+	return fp, nil
+}
+
+// rankCounts decodes raw (path ID -> count) accumulators into ranked Path
+// entries: the shared recipe behind Finish and FromData, so a profile
+// rehydrated from serialized counts is bit-identical to one built live.
+func (fp *FunctionProfile) rankCounts(counts map[int64]int64) error {
+	for id, freq := range counts {
+		blocks, err := fp.DAG.Decode(id)
 		if err != nil {
-			return nil, fmt.Errorf("profile: decoding path %d of %s: %w", id, c.dag.F.Name, err)
+			return fmt.Errorf("profile: decoding path %d of %s: %w", id, fp.F.Name, err)
 		}
 		p := &Path{ID: id, Freq: freq, Blocks: blocks, Ops: ballarus.PathOps(blocks)}
 		p.Weight = p.Freq * p.Ops
@@ -302,7 +312,7 @@ func (c *Collector) Finish() (*FunctionProfile, error) {
 		}
 		return fp.Paths[i].ID < fp.Paths[j].ID
 	})
-	return fp, nil
+	return nil
 }
 
 // CollectFunction profiles a single invocation of f on the given arguments

@@ -1,0 +1,43 @@
+package region
+
+import (
+	"fmt"
+
+	"needle/internal/profile"
+)
+
+// BraidData is the pure serializable core of a Braid: the IDs of its merged
+// paths, in merge order. Everything else about a braid — block set, entry
+// and exit, topological order, guard/IF classification — is a deterministic
+// function of those paths, recomputed by BraidFromData.
+type BraidData struct {
+	PathIDs []int64
+}
+
+// Data extracts the serializable core of the braid.
+func (br *Braid) Data() BraidData {
+	d := BraidData{PathIDs: make([]int64, len(br.Paths))}
+	for i, p := range br.Paths {
+		d.PathIDs[i] = p.ID
+	}
+	return d
+}
+
+// BraidFromData rebuilds a braid from its merged-path IDs against a
+// (possibly rehydrated) profile, reproducing buildBraid exactly. The paths
+// must all exist in fp and agree on entry and exit blocks, as the original
+// braid's did.
+func BraidFromData(fp *profile.FunctionProfile, d BraidData) (*Braid, error) {
+	if len(d.PathIDs) == 0 {
+		return nil, fmt.Errorf("region: braid data has no paths")
+	}
+	paths := make([]*profile.Path, len(d.PathIDs))
+	for i, id := range d.PathIDs {
+		p := fp.PathByID(id)
+		if p == nil {
+			return nil, fmt.Errorf("region: braid path %d not in profile of %s", id, fp.F.Name)
+		}
+		paths[i] = p
+	}
+	return buildBraid(fp, paths), nil
+}

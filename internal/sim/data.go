@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"needle/internal/ir"
+	"needle/internal/mem"
+	"needle/internal/ooo"
+	"needle/internal/pm"
+	"needle/internal/profile"
+)
+
+// TraceData is the pure serializable core of a captured Trace: the profile
+// counts plus the host-model observations, with no pointers into the traced
+// function and no analysis manager. TraceFromData rehydrates a Trace from it
+// against a (re-parsed or rebuilt) function.
+type TraceData struct {
+	Profile *profile.Data
+	Occ     []Occurrence
+
+	BaselineCycles   int64
+	BaselineEnergyPJ float64
+	Mix              ooo.OpMix
+	CacheStats       mem.Stats
+}
+
+// Data extracts the serializable core of the trace.
+func (tr *Trace) Data() *TraceData {
+	return &TraceData{
+		Profile:          tr.Profile.Data(),
+		Occ:              tr.Occ,
+		BaselineCycles:   tr.BaselineCycles,
+		BaselineEnergyPJ: tr.BaselineEnergyPJ,
+		Mix:              tr.Mix,
+		CacheStats:       tr.CacheStats,
+	}
+}
+
+// TraceFromData rehydrates a Trace: the profile is rebuilt against f (see
+// profile.FromData) and the trace adopts am as its analysis manager, exactly
+// as a live Capture would. f must be structurally identical to the function
+// the trace was captured from.
+func TraceFromData(am *pm.Manager, f *ir.Function, d *TraceData) (*Trace, error) {
+	am = pm.Ensure(am)
+	fp, err := profile.FromData(am, f, d.Profile)
+	if err != nil {
+		return nil, err
+	}
+	return &Trace{
+		Profile:          fp,
+		Occ:              d.Occ,
+		AM:               am,
+		BaselineCycles:   d.BaselineCycles,
+		BaselineEnergyPJ: d.BaselineEnergyPJ,
+		Mix:              d.Mix,
+		CacheStats:       d.CacheStats,
+	}, nil
+}

@@ -9,7 +9,11 @@
 #   - BenchmarkAblationPredictor/cached — the downstream-knob ablation sweep
 #     through the shared artifact cache — more than 15% slower than
 #     ablation_cached_ns_per_op, or less than 1.5x faster than its own
-#     /fresh variant (the staged pipeline's artifact-reuse win).
+#     /fresh variant (the staged pipeline's artifact-reuse win);
+#   - BenchmarkSweepWarmStart/warm — the full sweep warm-started from a
+#     persistent artifact store (fresh memory tier, as a new process would
+#     see it) — more than 15% slower than warmstart_warm_ns_per_op, or less
+#     than 1.5x faster than its own /cold variant (the disk tier's win).
 #
 #   ./scripts/bench.sh            (or: make bench)
 #   BENCH_TIME=10x ./scripts/bench.sh   # more iterations, less noise
@@ -20,13 +24,14 @@
 #       cost the paper pipeline pays by default)
 #
 # To accept a new baseline after an intentional change, update
-# scripts/bench_baseline.json with the sweep_ns_per_op and
-# ablation_cached_ns_per_op this script reports.
+# scripts/bench_baseline.json with the sweep_ns_per_op,
+# ablation_cached_ns_per_op, and warmstart_warm_ns_per_op this script
+# reports.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benches='^(BenchmarkSweep|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
+benches='^(BenchmarkSweep|BenchmarkSweepWarmStart|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
 benchtime="${BENCH_TIME:-5x}"
 
 echo "running sweep benchmarks (benchtime $benchtime)..."
@@ -50,6 +55,12 @@ if [ -z "$abl_fresh" ] || [ -z "$abl_cached" ]; then
     echo "bench: BenchmarkAblationPredictor produced no result" >&2
     exit 1
 fi
+ws_cold=$(ns_of 'BenchmarkSweepWarmStart/cold')
+ws_warm=$(ns_of 'BenchmarkSweepWarmStart/warm')
+if [ -z "$ws_cold" ] || [ -z "$ws_warm" ]; then
+    echo "bench: BenchmarkSweepWarmStart produced no result" >&2
+    exit 1
+fi
 
 date=$(date +%Y-%m-%d)
 file="BENCH_${date}.json"
@@ -61,10 +72,13 @@ file="BENCH_${date}.json"
     echo "  \"sweep_ns_per_op\": ${sweep},"
     echo "  \"ablation_fresh_ns_per_op\": ${abl_fresh},"
     echo "  \"ablation_cached_ns_per_op\": ${abl_cached},"
+    echo "  \"warmstart_cold_ns_per_op\": ${ws_cold},"
+    echo "  \"warmstart_warm_ns_per_op\": ${ws_warm},"
     echo "  \"benchmarks\": {"
     first=1
     for b in BenchmarkSweep BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel \
-             BenchmarkAblationPredictor/fresh BenchmarkAblationPredictor/cached; do
+             BenchmarkAblationPredictor/fresh BenchmarkAblationPredictor/cached \
+             BenchmarkSweepWarmStart/cold BenchmarkSweepWarmStart/warm; do
         ns=$(ns_of "$b")
         [ -z "$ns" ] && continue
         [ "$first" = 1 ] || echo ","
@@ -95,6 +109,18 @@ awk -v fresh="$abl_fresh" -v cached="$abl_cached" 'BEGIN {
     printf "bench: ok — artifact reuse %.1fx faster than fresh\n", ratio
 }'
 
+# Warm-start gate: a sweep warm-started from the persistent store must beat
+# the cold (compute + persist) sweep by >= 1.5x — the disk tier's win.
+echo "SweepWarmStart: cold ${ws_cold} ns/op, warm ${ws_warm} ns/op"
+awk -v cold="$ws_cold" -v warm="$ws_warm" 'BEGIN {
+    ratio = cold / warm
+    if (ratio < 1.5) {
+        printf "bench: FAIL — warm-start sweep only %.2fx faster than cold (need >= 1.5x)\n", ratio
+        exit 1
+    }
+    printf "bench: ok — persistent-store warm start %.1fx faster than cold\n", ratio
+}'
+
 baseline=scripts/bench_baseline.json
 if [ ! -f "$baseline" ]; then
     echo "bench: no baseline ($baseline); skipping regression gate"
@@ -123,3 +149,4 @@ gate() {
 
 gate sweep "$sweep" sweep_ns_per_op
 gate ablation-cached "$abl_cached" ablation_cached_ns_per_op
+gate warmstart-warm "$ws_warm" warmstart_warm_ns_per_op

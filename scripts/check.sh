@@ -33,3 +33,19 @@ if [ "${CHECK_BENCH:-0}" = "1" ]; then
     ./scripts/bench.sh
     echo "bench  ok"
 fi
+
+# Opt-in persistent-cache differential: CHECK_CACHE=1 ./scripts/check.sh
+# runs the full sweep twice against a temporary artifact store and fails
+# unless the warm (second) run's JSON output is byte-identical to the cold
+# run's — the persistent store must be invisible in the results.
+if [ "${CHECK_CACHE:-0}" = "1" ]; then
+    cachedir=$(mktemp -d)
+    trap 'rm -rf "$cachedir"' EXIT
+    go run ./cmd/needle -json -n 2000 -cache-dir "$cachedir/store" > "$cachedir/cold.json"
+    go run ./cmd/needle -json -n 2000 -cache-dir "$cachedir/store" > "$cachedir/warm.json"
+    if ! cmp -s "$cachedir/cold.json" "$cachedir/warm.json"; then
+        echo "check: FAIL — warm-start sweep output differs from cold run" >&2
+        exit 1
+    fi
+    echo "cache  ok (warm-start sweep byte-identical)"
+fi
