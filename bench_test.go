@@ -24,6 +24,7 @@ import (
 	"needle/internal/mem"
 	"needle/internal/ooo"
 	"needle/internal/pipeline"
+	"needle/internal/pm"
 	"needle/internal/profile"
 	"needle/internal/region"
 	"needle/internal/sim"
@@ -219,6 +220,31 @@ func BenchmarkSweepWarmStart(b *testing.B) {
 }
 
 // ---- micro-benchmarks of the pipeline building blocks ----
+
+// BenchmarkCapture measures the system-simulator capture alone — the
+// compiled interpreter fast path feeding the OOO model one block-batched
+// timing packet per executed block — on the heaviest workload. The analysis
+// manager is shared across iterations so plan compilation is cached and the
+// loop isolates steady-state capture cost; scripts/bench.sh records this as
+// capture_ns_per_op and gates it against the checked-in baseline.
+func BenchmarkCapture(b *testing.B) {
+	w := workloads.ByName("456.hmmer")
+	f, args, memory := w.Instance(2000)
+	am := pm.NewManager()
+	cfg := sim.DefaultConfig()
+	work := make([]uint64, len(memory))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		copy(work, memory)
+		tr, err := sim.Capture(am, f, args, work, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if tr.BaselineCycles == 0 {
+			b.Fatal("capture produced no cycles")
+		}
+	}
+}
 
 // BenchmarkInterpreter measures raw interpretation throughput.
 func BenchmarkInterpreter(b *testing.B) {

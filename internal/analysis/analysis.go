@@ -5,6 +5,7 @@ package analysis
 
 import (
 	"fmt"
+	"math/bits"
 
 	"needle/internal/ir"
 )
@@ -204,35 +205,84 @@ func DefBlock(f *ir.Function) []*ir.Block {
 	return defs
 }
 
+// RegSet is a dense register bitset, indexed by ir.Reg. Sets produced by one
+// analysis share a word width, so whole-set operations are straight word
+// loops with no bounds reconciliation.
+type RegSet []uint64
+
+// NewRegSet returns an empty set wide enough for a function with numRegs
+// virtual registers (registers are 1-based, so the set spans [0, numRegs]).
+func NewRegSet(numRegs int) RegSet { return make(RegSet, (numRegs+64)>>6) }
+
+// Has reports whether r is in the set.
+func (s RegSet) Has(r ir.Reg) bool {
+	i := uint(r) >> 6
+	return int(i) < len(s) && s[i]&(1<<(uint(r)&63)) != 0
+}
+
+// Add inserts r into the set.
+func (s RegSet) Add(r ir.Reg) {
+	s[uint(r)>>6] |= 1 << (uint(r) & 63)
+}
+
+// Regs returns the set's members in increasing order.
+func (s RegSet) Regs() []ir.Reg {
+	n := 0
+	for _, w := range s {
+		n += bits.OnesCount64(w)
+	}
+	out := make([]ir.Reg, 0, n)
+	s.ForEach(func(r ir.Reg) { out = append(out, r) })
+	return out
+}
+
+// ForEach calls fn for every register in the set, in increasing order.
+func (s RegSet) ForEach(fn func(ir.Reg)) {
+	for i, w := range s {
+		for w != 0 {
+			fn(ir.Reg(i<<6 + bits.TrailingZeros64(w)))
+			w &= w - 1
+		}
+	}
+}
+
 // Liveness holds per-block live-in/live-out register sets.
 type Liveness struct {
-	In  []map[ir.Reg]bool // indexed by block index
-	Out []map[ir.Reg]bool
+	In  []RegSet // indexed by block index
+	Out []RegSet
 }
 
 // ComputeLiveness runs backward dataflow liveness over the function.
 // Phi semantics: a phi's operand for predecessor P is live-out of P (not
 // live-in of the phi's block); the phi's destination is defined at the top
 // of its block.
+//
+// The transfer function is evaluated on register bitsets — the fixpoint
+// loop is pure word arithmetic (out |= in[succ]; in = use | (out &^ def)),
+// which keeps the pass linear-ish in practice where the old map-based
+// version paid a hash probe per register per round.
 func ComputeLiveness(f *ir.Function) *Liveness {
 	n := len(f.Blocks)
-	lv := &Liveness{In: make([]map[ir.Reg]bool, n), Out: make([]map[ir.Reg]bool, n)}
-	for i := range lv.In {
-		lv.In[i] = make(map[ir.Reg]bool)
-		lv.Out[i] = make(map[ir.Reg]bool)
+	words := (f.NumRegs() + 64) >> 6 // registers are 1-based; bit 0 unused
+	arena := make([]uint64, 4*n*words)
+	sets := func(k int) []RegSet {
+		out := make([]RegSet, n)
+		for i := range out {
+			out[i] = RegSet(arena[(k*n+i)*words : (k*n+i+1)*words])
+		}
+		return out
 	}
+	lv := &Liveness{In: sets(0), Out: sets(1)}
 
 	// use[b]: registers read in b before any redefinition, excluding phi
 	// operands (attributed to predecessors). def[b]: registers defined in b,
 	// including phi destinations.
-	use := make([]map[ir.Reg]bool, n)
-	def := make([]map[ir.Reg]bool, n)
+	use := sets(2)
+	def := sets(3)
 	// phiUse[p][s]: registers that predecessor p must supply to successor s's
 	// phis.
 	phiUse := make(map[*ir.Block]map[*ir.Block][]ir.Reg)
 	for _, b := range f.Blocks {
-		use[b.Index] = make(map[ir.Reg]bool)
-		def[b.Index] = make(map[ir.Reg]bool)
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpPhi {
 				for i, from := range in.Blocks {
@@ -243,16 +293,16 @@ func ComputeLiveness(f *ir.Function) *Liveness {
 					}
 					m[b] = append(m[b], in.Args[i])
 				}
-				def[b.Index][in.Dst] = true
+				def[b.Index].Add(in.Dst)
 				continue
 			}
 			in.Uses(func(r ir.Reg) {
-				if !def[b.Index][r] {
-					use[b.Index][r] = true
+				if !def[b.Index].Has(r) {
+					use[b.Index].Add(r)
 				}
 			})
 			if in.Op.HasDest() {
-				def[b.Index][in.Dst] = true
+				def[b.Index].Add(in.Dst)
 			}
 		}
 	}
@@ -263,29 +313,24 @@ func ComputeLiveness(f *ir.Function) *Liveness {
 			b := f.Blocks[i]
 			out := lv.Out[b.Index]
 			for _, s := range b.Succs() {
-				for r := range lv.In[s.Index] {
-					if !out[r] {
-						out[r] = true
+				for w, v := range lv.In[s.Index] {
+					if v&^out[w] != 0 {
+						out[w] |= v
 						changed = true
 					}
 				}
 				for _, r := range phiUse[b][s] {
-					if !out[r] {
-						out[r] = true
+					if !out.Has(r) {
+						out.Add(r)
 						changed = true
 					}
 				}
 			}
-			in := lv.In[b.Index]
-			for r := range use[b.Index] {
-				if !in[r] {
-					in[r] = true
-					changed = true
-				}
-			}
-			for r := range out {
-				if !def[b.Index][r] && !in[r] {
-					in[r] = true
+			in, u, d := lv.In[b.Index], use[b.Index], def[b.Index]
+			for w := range in {
+				v := u[w] | out[w]&^d[w]
+				if v&^in[w] != 0 {
+					in[w] |= v
 					changed = true
 				}
 			}

@@ -176,14 +176,14 @@ func TestLivenessDiamond(t *testing.T) {
 	left := f.BlockByName("left")
 	join := f.BlockByName("join")
 	// r1 (param) is live into left; r4 is live out of left (phi operand).
-	if !lv.In[left.Index][1] {
+	if !lv.In[left.Index].Has(1) {
 		t.Error("r1 should be live-in to left")
 	}
-	if !lv.Out[left.Index][4] {
+	if !lv.Out[left.Index].Has(4) {
 		t.Error("r4 should be live-out of left (phi use)")
 	}
 	// Phi operands are not live-in to the join block itself.
-	if lv.In[join.Index][4] || lv.In[join.Index][5] {
+	if lv.In[join.Index].Has(4) || lv.In[join.Index].Has(5) {
 		t.Error("phi operands must not be live-in to the phi block")
 	}
 }
@@ -193,13 +193,13 @@ func TestLivenessLoop(t *testing.T) {
 	lv := ComputeLiveness(f)
 	body := f.BlockByName("body")
 	head := f.BlockByName("head")
-	if !lv.In[body.Index][3] || !lv.In[body.Index][1] {
+	if !lv.In[body.Index].Has(3) || !lv.In[body.Index].Has(1) {
 		t.Error("r3 and r1 should be live into body")
 	}
-	if !lv.Out[body.Index][5] {
+	if !lv.Out[body.Index].Has(5) {
 		t.Error("r5 should be live out of body (loop phi)")
 	}
-	if !lv.In[head.Index][1] {
+	if !lv.In[head.Index].Has(1) {
 		t.Error("r1 should be live into head")
 	}
 }

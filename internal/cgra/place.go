@@ -1,6 +1,8 @@
 package cgra
 
 import (
+	"sync"
+
 	"needle/internal/frame"
 )
 
@@ -21,6 +23,50 @@ type Placement struct {
 	Multiplexed int
 }
 
+// spiralOrders[want] lists every slot of a rows×cols grid sorted by
+// (Manhattan distance from want, slot index) — the exact visit order of the
+// original linear nearest-free scan, precomputed so each placement walks
+// only as far as the first free slot instead of scoring the whole grid.
+// Orders are cached per geometry: the sweep places every frame on the same
+// fabric, so the table is built once.
+var (
+	spiralMu    sync.Mutex
+	spiralCache = map[int][][]uint16{}
+)
+
+func spiralOrders(rows, cols int) [][]uint16 {
+	key := rows<<16 | cols
+	spiralMu.Lock()
+	defer spiralMu.Unlock()
+	if o := spiralCache[key]; o != nil {
+		return o
+	}
+	capacity := rows * cols
+	maxD := rows + cols
+	orders := make([][]uint16, capacity)
+	flat := make([]uint16, capacity*capacity) // one backing array for all wants
+	abs := func(x int) int {
+		if x < 0 {
+			return -x
+		}
+		return x
+	}
+	for want := 0; want < capacity; want++ {
+		o := flat[want*capacity : want*capacity : (want+1)*capacity]
+		wr, wc := want/cols, want%cols
+		for d := 0; d <= maxD; d++ {
+			for s := 0; s < capacity; s++ {
+				if abs(s/cols-wr)+abs(s%cols-wc) == d {
+					o = append(o, uint16(s))
+				}
+			}
+		}
+		orders[want] = o
+	}
+	spiralCache[key] = orders
+	return orders
+}
+
 // Place maps the frame greedily: ops are placed in dependence order at the
 // free FU nearest the centroid of their producers (network locality), with
 // a spiral search for the nearest free slot. This mirrors the locality-
@@ -35,6 +81,7 @@ func Place(fr *frame.Frame, cfg Config) *Placement {
 	p := &Placement{Rows: rows, Cols: cols, Pos: make([]int, len(fr.Ops))}
 	used := make([]bool, capacity)
 	placed := 0
+	orders := spiralOrders(rows, cols)
 
 	abs := func(x int) int {
 		if x < 0 {
@@ -47,18 +94,16 @@ func Place(fr *frame.Frame, cfg Config) *Placement {
 		br, bc := b/cols, b%cols
 		return abs(ar-br) + abs(ac-bc)
 	}
-	// nearestFree finds the unused FU closest to want (spiral by distance).
+	// nearestFree finds the unused FU closest to want: the first free slot
+	// in the precomputed (distance, index) spiral order, which matches the
+	// original full-grid scan's lowest-index-at-minimum-distance choice.
 	nearestFree := func(want int) int {
-		best, bestD := -1, 1<<30
-		for s := 0; s < capacity; s++ {
-			if used[s] {
-				continue
-			}
-			if d := dist(s, want); d < bestD {
-				best, bestD = s, d
+		for _, s := range orders[want] {
+			if !used[s] {
+				return int(s)
 			}
 		}
-		return best
+		return -1
 	}
 
 	routes := 0

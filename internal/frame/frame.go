@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"strings"
 
+	"needle/internal/analysis"
 	"needle/internal/ir"
 	"needle/internal/pm"
 	"needle/internal/region"
@@ -156,31 +157,46 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 	}
 	fr := &Frame{Region: r, opts: opts}
 
+	numRegs := r.F.NumRegs()
 	liveIn, liveOut := r.LiveValues(am)
 	// Entry phis become frame arguments: their destinations join the
 	// live-in set and their incoming operands (already counted live-in by
 	// the region analysis) are what the host marshals.
-	entryPhiDst := make(map[ir.Reg]bool)
-	for _, phi := range r.Entry.Phis() {
-		entryPhiDst[phi.Dst] = true
-	}
-	seen := make(map[ir.Reg]bool)
+	seen := analysis.NewRegSet(numRegs)
 	for _, reg := range liveIn {
-		if !seen[reg] {
-			seen[reg] = true
+		if !seen.Has(reg) {
+			seen.Add(reg)
 			fr.LiveIn = append(fr.LiveIn, reg)
 		}
 	}
 	for _, phi := range r.Entry.Phis() {
-		if !seen[phi.Dst] {
-			seen[phi.Dst] = true
+		if !seen.Has(phi.Dst) {
+			seen.Add(phi.Dst)
 			fr.LiveIn = append(fr.LiveIn, phi.Dst)
 		}
 	}
 	fr.LiveOut = liveOut
 
-	// Linearize the region into dataflow ops.
-	defIdx := make(map[ir.Reg]int) // register -> producing op index
+	// Linearize the region into dataflow ops. Sizing the op list and the
+	// def map up front (region instructions plus undo-log headroom) keeps
+	// the emit loop from repeatedly regrowing both.
+	nInstr, nStore := 0, 0
+	for _, blk := range r.Blocks {
+		nInstr += len(blk.Instrs)
+		for _, in := range blk.Instrs {
+			if in.Op == ir.OpStore {
+				nStore++
+			}
+		}
+	}
+	fr.Ops = make([]Op, 0, nInstr+nStore*opts.UndoOpsPerStore+8)
+	// Register -> producing op index, dense over the function's register
+	// space for the emit loop (every use probes it); the exported map view
+	// is materialized once at the end.
+	defIdx := make([]int32, numRegs+1)
+	for i := range defIdx {
+		defIdx[i] = -1
+	}
 	lastStore := -1
 	var loadsSinceStore []int
 	lastGuard := -1
@@ -192,8 +208,8 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 	// chains in the region.
 	addrOf := buildAddrMap(r)
 	mayAlias := func(a, b ir.Reg) bool {
-		ka, oka := addrOf[a]
-		kb, okb := addrOf[b]
+		ka, oka := addrOf.get(a)
+		kb, okb := addrOf.get(b)
 		if !oka || !okb {
 			return true
 		}
@@ -229,8 +245,8 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 	emit := func(op Op, in *ir.Instr) int {
 		// Register dependences.
 		in.Uses(func(reg ir.Reg) {
-			if idx, ok := defIdx[reg]; ok {
-				op.Deps = addDep(op.Deps, idx)
+			if idx := defIdx[reg]; idx >= 0 {
+				op.Deps = addDep(op.Deps, int(idx))
 			}
 		})
 		if predicated {
@@ -245,7 +261,7 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 		fr.Ops = append(fr.Ops, op)
 		idx := len(fr.Ops) - 1
 		if in.Op.HasDest() {
-			defIdx[in.Dst] = idx
+			defIdx[in.Dst] = int32(idx)
 		}
 		return idx
 	}
@@ -269,7 +285,7 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 					fr.Cancelled++
 					// Forward the producing op so consumers depend on it.
 					if prev := pathPhiIncoming(r, b, in); prev != ir.NoReg {
-						if idx, ok := defIdx[prev]; ok {
+						if idx := defIdx[prev]; idx >= 0 {
 							defIdx[in.Dst] = idx
 						}
 					}
@@ -322,21 +338,26 @@ func Build(am *pm.Manager, r *region.Region, opts Options) (*Frame, error) {
 		}
 	}
 
-	fr.Def = defIdx
+	fr.Def = make(map[ir.Reg]int, nInstr)
+	for reg, idx := range defIdx {
+		if idx >= 0 {
+			fr.Def[ir.Reg(reg)] = int(idx)
+		}
+	}
 
 	// Loop-carried recurrences: entry phis whose incoming value is defined
 	// inside the region (arriving over a back edge from a region block).
-	defsIn := make(map[ir.Reg]bool)
+	defsIn := analysis.NewRegSet(numRegs)
 	for _, blk := range r.Blocks {
 		for _, in := range blk.Instrs {
 			if in.Op.HasDest() {
-				defsIn[in.Dst] = true
+				defsIn.Add(in.Dst)
 			}
 		}
 	}
 	for _, phi := range r.Entry.Phis() {
 		for _, a := range phi.Args {
-			if defsIn[a] {
+			if defsIn.Has(a) {
 				fr.Carried = append(fr.Carried, CarriedPair{Phi: phi.Dst, Next: a})
 			}
 		}
@@ -363,11 +384,26 @@ type symAddr struct {
 	off  int64
 }
 
+// addrTable holds recovered symbolic addresses, dense over the function's
+// register space: have[r] marks registers whose address is known.
+type addrTable struct {
+	addr []symAddr
+	have []bool
+}
+
+func (t *addrTable) get(r ir.Reg) (symAddr, bool) {
+	if int(r) >= len(t.addr) {
+		return symAddr{}, false
+	}
+	return t.addr[r], t.have[r]
+}
+
 // buildAddrMap recovers symbolic addresses for registers defined in the
 // region by folding Add-with-constant and Const chains. Registers whose
 // value cannot be expressed as base+constant are simply absent.
-func buildAddrMap(r *region.Region) map[ir.Reg]symAddr {
-	defs := make(map[ir.Reg]*ir.Instr)
+func buildAddrMap(r *region.Region) *addrTable {
+	n := r.F.NumRegs() + 1
+	defs := make([]*ir.Instr, n)
 	for _, b := range r.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op.HasDest() {
@@ -375,48 +411,44 @@ func buildAddrMap(r *region.Region) map[ir.Reg]symAddr {
 			}
 		}
 	}
-	out := make(map[ir.Reg]symAddr)
+	t := &addrTable{addr: make([]symAddr, n), have: make([]bool, n)}
+	set := func(reg ir.Reg, a symAddr) (symAddr, bool) {
+		t.addr[reg] = a
+		t.have[reg] = true
+		return a, true
+	}
 	var walk func(reg ir.Reg, depth int) (symAddr, bool)
 	walk = func(reg ir.Reg, depth int) (symAddr, bool) {
-		if a, ok := out[reg]; ok {
-			return a, true
+		if t.have[reg] {
+			return t.addr[reg], true
 		}
 		if depth > 16 {
 			return symAddr{}, false
 		}
-		in, ok := defs[reg]
-		if !ok {
+		in := defs[reg]
+		if in == nil {
 			// Defined outside the region: itself a base.
-			a := symAddr{base: reg}
-			out[reg] = a
-			return a, true
+			return set(reg, symAddr{base: reg})
 		}
 		switch in.Op {
 		case ir.OpConst:
-			a := symAddr{base: ir.NoReg, off: in.Imm}
-			out[reg] = a
-			return a, true
+			return set(reg, symAddr{base: ir.NoReg, off: in.Imm})
 		case ir.OpAdd:
 			// base + const (either order).
 			for i := 0; i < 2; i++ {
 				if c, ok := walk(in.Args[i], depth+1); ok && c.base == ir.NoReg {
 					if b, ok := walk(in.Args[1-i], depth+1); ok {
-						a := symAddr{base: b.base, off: b.off + c.off}
-						out[reg] = a
-						return a, true
+						return set(reg, symAddr{base: b.base, off: b.off + c.off})
 					}
 				}
 			}
 		case ir.OpCopy:
 			if a, ok := walk(in.Args[0], depth+1); ok {
-				out[reg] = a
-				return a, true
+				return set(reg, a)
 			}
 		}
 		// Opaque computation: treat the register itself as a fresh base.
-		a := symAddr{base: reg}
-		out[reg] = a
-		return a, true
+		return set(reg, symAddr{base: reg})
 	}
 	for _, b := range r.Blocks {
 		for _, in := range b.Instrs {
@@ -425,7 +457,7 @@ func buildAddrMap(r *region.Region) map[ir.Reg]symAddr {
 			}
 		}
 	}
-	return out
+	return t
 }
 
 // pathPhiIncoming returns the incoming value of a phi along a single path

@@ -69,6 +69,14 @@ type planBlock struct {
 	kind    uint8
 	condReg ir.Reg // condition register for termCond
 	retReg  ir.Reg // returned register for termRet (NoReg for void)
+	// packet is the block's precompiled timing packet (phi prefix, body,
+	// terminator in feed order); built for runnable plans only.
+	packet *TimingPacket
+	// code mirrors body as dense records (opcode, registers, immediate) so
+	// the fast-path dispatch reads one contiguous struct per instruction
+	// instead of chasing an *ir.Instr and its Args slice; built for
+	// runnable plans only, backed by a per-plan arena.
+	code []execEntry
 }
 
 // Plan is the compiled execution plan of one function. Plans are immutable
@@ -81,7 +89,19 @@ type Plan struct {
 	edgeFrom []int32       // dense edge slot -> source block index
 	edgeTo   []int32       // dense edge slot -> target block index
 	maxPhis  int
+	maxMem   int // most memory ops in any one block (address-scratch size)
 	runnable bool
+}
+
+// execEntry is one body instruction flattened for the fast-path dispatch:
+// opcode, destination, up to three argument registers, and the immediate,
+// in 32 contiguous bytes. Rare opcodes still consult the original
+// *ir.Instr (the eval fallback needs it), but the hot switch never does.
+type execEntry struct {
+	op         ir.Op
+	dst        int32
+	a0, a1, a2 int32
+	imm        int64
 }
 
 // BuildPlan compiles f into a Plan. Building always succeeds; Runnable
@@ -211,8 +231,61 @@ func BuildPlan(f *ir.Function) *Plan {
 			p.runnable = false
 		}
 	}
+
+	// Timing packets: the dynamic feed sequence of each block (phi prefix,
+	// body, terminator) flattened into dense arrays, so the batched capture
+	// path hands the timing model one FeedBlock per executed block. Only
+	// runnable plans execute, so only they pay for packets.
+	if p.runnable {
+		var seq []*ir.Instr
+		pks := make([]*TimingPacket, len(p.blocks))
+		nBody := 0
+		for i := range p.blocks {
+			pb := &p.blocks[i]
+			seq = seq[:0]
+			seq = append(seq, pb.phis...)
+			seq = append(seq, pb.body...)
+			seq = append(seq, pb.term)
+			pb.packet = NewTimingPacket(seq)
+			pks[i] = pb.packet
+			if pb.packet.NumMem > p.maxMem {
+				p.maxMem = pb.packet.NumMem
+			}
+			nBody += len(pb.body)
+		}
+		compactPackets(pks)
+
+		// Dense execution records for the body dispatch, one arena for the
+		// whole plan.
+		code := make([]execEntry, nBody)
+		n := 0
+		for i := range p.blocks {
+			pb := &p.blocks[i]
+			pb.code = code[n : n+len(pb.body) : n+len(pb.body)]
+			for j, in := range pb.body {
+				e := &pb.code[j]
+				e.op = in.Op
+				e.dst = int32(in.Dst)
+				e.imm = in.Imm
+				switch len(in.Args) {
+				case 0:
+				case 1:
+					e.a0 = int32(in.Args[0])
+				case 2:
+					e.a0, e.a1 = int32(in.Args[0]), int32(in.Args[1])
+				default:
+					e.a0, e.a1, e.a2 = int32(in.Args[0]), int32(in.Args[1]), int32(in.Args[2])
+				}
+			}
+			n += len(pb.body)
+		}
+	}
 	return p
 }
+
+// BlockPacket returns the timing packet of block i, or nil for non-runnable
+// plans. Exposed for the packet equivalence tests.
+func (p *Plan) BlockPacket(i int) *TimingPacket { return p.blocks[i].packet }
 
 // F returns the planned function.
 func (p *Plan) F() *ir.Function { return p.f }
@@ -401,6 +474,19 @@ func runProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts Pl
 	hist := opts.History
 	onPath := opts.OnPath
 
+	// Batched timing: a BlockTiming consumer receives one FeedBlock per
+	// executed block (walking the precompiled packet) instead of one virtual
+	// Feed per instruction. Error paths feed the partial packet up to the
+	// last completed instruction, so the model's state matches the
+	// per-instruction oracle even on runs that fault mid-block. The address
+	// scratch is reused across every block of the run.
+	bt, batch := timing.(BlockTiming)
+	feedEach := timing != nil && !batch
+	var addrs []int64
+	if batch && p.maxMem > 0 {
+		addrs = make([]int64, 0, p.maxMem)
+	}
+
 	regs := make([]uint64, len(f.RegType))
 	for i, a := range args {
 		regs[f.Param(i)] = a
@@ -428,8 +514,12 @@ func runProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts Pl
 		// One bounds check per block: when the whole block fits under the
 		// step budget, the per-instruction limit checks are skipped.
 		careful := steps+int64(len(b.phis)+len(b.body)+1) > maxSteps
+		nPhis := len(b.phis)
+		if batch {
+			addrs = addrs[:0]
+		}
 
-		if len(b.phis) > 0 {
+		if nPhis > 0 {
 			moves := b.moves[predSlot]
 			if moves == nil {
 				return Result{Steps: steps}, p.phiEdgeError(cur, predSlot)
@@ -441,17 +531,24 @@ func runProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts Pl
 				regs[moves[i].dst] = phiTmp[i]
 				steps++
 				if careful && steps > maxSteps {
+					if batch {
+						bt.FeedBlock(b.packet, i, addrs)
+					}
 					return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
 				}
-				if timing != nil {
+				if feedEach {
 					timing.Feed(b.phis[i], pend)
 				}
 			}
 		}
 
-		for _, in := range b.body {
+		for j := range b.code {
+			c := &b.code[j]
 			steps++
 			if careful && steps > maxSteps {
+				if batch {
+					bt.FeedBlock(b.packet, nPhis+j, addrs)
+				}
 				return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
 			}
 			// The common opcodes are inlined below with arithmetic identical
@@ -459,91 +556,115 @@ func runProfiled(p *Plan, bl *BLPlan, args, mem []uint64, st *PathState, opts Pl
 			// signed or unsigned; shr stays an arithmetic int64 shift); rare
 			// opcodes and every error path fall back to eval so results and
 			// error messages cannot drift.
-			switch in.Op {
+			switch c.op {
 			case ir.OpAdd:
-				regs[in.Dst] = regs[in.Args[0]] + regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] + regs[c.a1]
 			case ir.OpSub:
-				regs[in.Dst] = regs[in.Args[0]] - regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] - regs[c.a1]
 			case ir.OpMul:
-				regs[in.Dst] = regs[in.Args[0]] * regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] * regs[c.a1]
 			case ir.OpAnd:
-				regs[in.Dst] = regs[in.Args[0]] & regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] & regs[c.a1]
 			case ir.OpOr:
-				regs[in.Dst] = regs[in.Args[0]] | regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] | regs[c.a1]
 			case ir.OpXor:
-				regs[in.Dst] = regs[in.Args[0]] ^ regs[in.Args[1]]
+				regs[c.dst] = regs[c.a0] ^ regs[c.a1]
 			case ir.OpShl:
-				regs[in.Dst] = regs[in.Args[0]] << (regs[in.Args[1]] & 63)
+				regs[c.dst] = regs[c.a0] << (regs[c.a1] & 63)
 			case ir.OpShr:
-				regs[in.Dst] = uint64(int64(regs[in.Args[0]]) >> (regs[in.Args[1]] & 63))
+				regs[c.dst] = uint64(int64(regs[c.a0]) >> (regs[c.a1] & 63))
 			case ir.OpCmpEQ:
-				regs[in.Dst] = b2u(regs[in.Args[0]] == regs[in.Args[1]])
+				regs[c.dst] = b2u(regs[c.a0] == regs[c.a1])
 			case ir.OpCmpNE:
-				regs[in.Dst] = b2u(regs[in.Args[0]] != regs[in.Args[1]])
+				regs[c.dst] = b2u(regs[c.a0] != regs[c.a1])
 			case ir.OpCmpLT:
-				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) < int64(regs[in.Args[1]]))
+				regs[c.dst] = b2u(int64(regs[c.a0]) < int64(regs[c.a1]))
 			case ir.OpCmpLE:
-				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) <= int64(regs[in.Args[1]]))
+				regs[c.dst] = b2u(int64(regs[c.a0]) <= int64(regs[c.a1]))
 			case ir.OpCmpGT:
-				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) > int64(regs[in.Args[1]]))
+				regs[c.dst] = b2u(int64(regs[c.a0]) > int64(regs[c.a1]))
 			case ir.OpCmpGE:
-				regs[in.Dst] = b2u(int64(regs[in.Args[0]]) >= int64(regs[in.Args[1]]))
+				regs[c.dst] = b2u(int64(regs[c.a0]) >= int64(regs[c.a1]))
 			case ir.OpFAdd:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) + math.Float64frombits(regs[in.Args[1]]))
+				regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a0]) + math.Float64frombits(regs[c.a1]))
 			case ir.OpFSub:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) - math.Float64frombits(regs[in.Args[1]]))
+				regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a0]) - math.Float64frombits(regs[c.a1]))
 			case ir.OpFMul:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) * math.Float64frombits(regs[in.Args[1]]))
+				regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a0]) * math.Float64frombits(regs[c.a1]))
 			case ir.OpFDiv:
-				regs[in.Dst] = math.Float64bits(math.Float64frombits(regs[in.Args[0]]) / math.Float64frombits(regs[in.Args[1]]))
+				regs[c.dst] = math.Float64bits(math.Float64frombits(regs[c.a0]) / math.Float64frombits(regs[c.a1]))
 			case ir.OpConst:
-				regs[in.Dst] = uint64(in.Imm)
+				regs[c.dst] = uint64(c.imm)
 			case ir.OpCopy:
-				regs[in.Dst] = regs[in.Args[0]]
+				regs[c.dst] = regs[c.a0]
 			case ir.OpSelect:
-				if regs[in.Args[0]] != 0 {
-					regs[in.Dst] = regs[in.Args[1]]
+				if regs[c.a0] != 0 {
+					regs[c.dst] = regs[c.a1]
 				} else {
-					regs[in.Dst] = regs[in.Args[2]]
+					regs[c.dst] = regs[c.a2]
 				}
 			case ir.OpLoad:
-				addr := int64(regs[in.Args[0]])
+				addr := int64(regs[c.a0])
 				pend = addr
+				if batch {
+					addrs = append(addrs, addr)
+				}
 				if uint64(addr) < uint64(len(mem)) {
-					regs[in.Dst] = mem[addr]
-				} else if _, err := eval(in, regs, mem); err != nil {
+					regs[c.dst] = mem[addr]
+				} else if _, err := eval(b.body[j], regs, mem); err != nil {
+					if batch {
+						bt.FeedBlock(b.packet, nPhis+j, addrs)
+					}
 					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
 				}
 			case ir.OpStore:
-				addr := int64(regs[in.Args[0]])
+				addr := int64(regs[c.a0])
 				pend = addr
+				if batch {
+					addrs = append(addrs, addr)
+				}
 				if uint64(addr) < uint64(len(mem)) {
-					mem[addr] = regs[in.Args[1]]
-				} else if _, err := eval(in, regs, mem); err != nil {
+					mem[addr] = regs[c.a1]
+				} else if _, err := eval(b.body[j], regs, mem); err != nil {
+					if batch {
+						bt.FeedBlock(b.packet, nPhis+j, addrs)
+					}
 					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
 				}
 			default:
+				in := b.body[j]
 				if in.Op.IsMemory() {
-					pend = int64(regs[in.Args[0]])
+					pend = int64(regs[c.a0])
+					if batch {
+						addrs = append(addrs, pend)
+					}
 				}
 				v, err := eval(in, regs, mem)
 				if err != nil {
+					if batch {
+						bt.FeedBlock(b.packet, nPhis+j, addrs)
+					}
 					return Result{Steps: steps}, fmt.Errorf("%w in %s.%s", err, f.Name, f.Blocks[cur].Name)
 				}
 				if in.Op.HasDest() {
 					regs[in.Dst] = v
 				}
 			}
-			if timing != nil {
-				timing.Feed(in, pend)
+			if feedEach {
+				timing.Feed(b.body[j], pend)
 			}
 		}
 
 		steps++
 		if careful && steps > maxSteps {
+			if batch {
+				bt.FeedBlock(b.packet, nPhis+len(b.body), addrs)
+			}
 			return Result{Steps: steps}, fmt.Errorf("%w (limit %d) in %s", ErrStepLimit, maxSteps, f.Name)
 		}
-		if timing != nil {
+		if batch {
+			bt.FeedBlock(b.packet, b.packet.Len(), addrs)
+		} else if timing != nil {
 			timing.Feed(b.term, pend)
 		}
 		switch b.kind {

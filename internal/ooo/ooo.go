@@ -281,6 +281,150 @@ func (m *Model) Feed(in *ir.Instr, addr int64) {
 	}
 }
 
+// FeedBlock schedules the first n entries of a precompiled timing packet —
+// the batched equivalent of n sequential Feed calls, and the entry point the
+// capture fast path uses once per executed block. addrs holds the effective
+// word addresses of the packet's memory entries in order (trailing extras
+// are ignored). All per-instruction state (fetch group, ROB slot, unit
+// pools, register-ready times) is walked with plain array indexing and
+// hoisted locals; no *ir.Instr is touched. Interleaving FeedBlock with Feed
+// and NoteBranch is legal — the hooked per-instruction path is the
+// equivalence oracle the ooo packet tests pin this against.
+func (m *Model) FeedBlock(pk *interp.TimingPacket, n int, addrs []int64) {
+	if n <= 0 {
+		return
+	}
+	regReady := m.regReady
+	aluFree, fpuFree := m.aluFree, m.fpuFree
+	rob := m.rob
+	robHead := m.robHead
+	fetch, fetchRem, width := m.fetch, m.fetchRem, int64(m.cfg.Width)
+	lastDone := m.lastDone
+	stall := m.stallUntil
+	ents := pk.Ent[:n]
+	var nFP, nMem int64
+	mi := 0
+	var finish int64
+	for i := range ents {
+		e := &ents[i]
+		ready := fetch
+		fetchRem++
+		if fetchRem == width {
+			fetchRem = 0
+			fetch++
+		}
+		// ROB constraint: the slot of the instruction ROB-entries older.
+		if w := rob[robHead]; w > ready {
+			ready = w
+		}
+		if stall > ready {
+			ready = stall
+		}
+		// Dependences: the two inlined sources cover everything but wide phi
+		// moves, which spill to the packet's overflow span. Absent slots
+		// hold NoReg (register 0), whose ready time is pinned at zero — so
+		// both reads are unconditional and the max is exact without
+		// branching on the source count.
+		if r := e.Src0; int(r) < len(regReady) && regReady[r] > ready {
+			ready = regReady[r]
+		}
+		if r := e.Src1; int(r) < len(regReady) && regReady[r] > ready {
+			ready = regReady[r]
+		}
+		if e.NSrc > 2 {
+			offs, srcs := pk.SrcOff, pk.Srcs
+			for k, end := offs[i]+2, offs[i+1]; k < end; k++ {
+				if r := srcs[k]; int(r) < len(regReady) && regReady[r] > ready {
+					ready = regReady[r]
+				}
+			}
+		}
+
+		// Unit class: bit 0 selects the pool (Int=0, Mem=2 -> ALUs;
+		// FP=1 -> FPUs), and only memory ops leave the static latency table
+		// for the cache model.
+		var lat int64
+		pool := aluFree
+		if e.Class&1 != 0 {
+			nFP++
+			pool = fpuFree
+		}
+		if e.Class == interp.TimingClassMem {
+			nMem++
+			lat = m.cache.Access(addrs[mi])
+			mi++
+		} else {
+			lat = opLat[e.Op]
+		}
+
+		// Earliest-free-unit argmin, unrolled for the Table V pool sizes
+		// (6 ALUs, 2 FPUs); ties pick the lowest index, as the generic scan
+		// does.
+		var best int
+		var bestT int64
+		switch len(pool) {
+		case 6:
+			best, bestT = 0, pool[0]
+			if t := pool[1]; t < bestT {
+				best, bestT = 1, t
+			}
+			if t := pool[2]; t < bestT {
+				best, bestT = 2, t
+			}
+			if t := pool[3]; t < bestT {
+				best, bestT = 3, t
+			}
+			if t := pool[4]; t < bestT {
+				best, bestT = 4, t
+			}
+			if t := pool[5]; t < bestT {
+				best, bestT = 5, t
+			}
+		case 2:
+			best, bestT = 0, pool[0]
+			if t := pool[1]; t < bestT {
+				best, bestT = 1, t
+			}
+		default:
+			best, bestT = 0, pool[0]
+			for u := 1; u < len(pool); u++ {
+				if t := pool[u]; t < bestT {
+					best, bestT = u, t
+				}
+			}
+		}
+		issue := ready
+		if bestT > issue {
+			issue = bestT
+		}
+		pool[best] = issue + 1
+		finish = issue + lat
+
+		if d := e.Dst; d >= 0 && int(d) < len(regReady) {
+			regReady[d] = finish
+		}
+		rob[robHead] = finish
+		robHead++
+		if robHead == len(rob) {
+			robHead = 0
+		}
+		if finish > lastDone {
+			lastDone = finish
+		}
+	}
+	m.fetch, m.fetchRem = fetch, fetchRem
+	m.robHead = robHead
+	m.lastDone = lastDone
+	m.count += int64(n)
+	m.Mix.Total += int64(n)
+	m.Mix.FP += nFP
+	m.Mix.Mem += nMem
+	m.Mix.Int += int64(n) - nFP - nMem
+	if pk.CondBr && n == pk.Len() {
+		m.lastBranch = finish
+	}
+}
+
 // Cycles returns the cycle count of everything fed so far.
 func (m *Model) Cycles() int64 { return m.lastDone }
 

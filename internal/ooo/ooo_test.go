@@ -1,6 +1,8 @@
 package ooo
 
 import (
+	"math/rand"
+	"reflect"
 	"testing"
 
 	"needle/internal/interp"
@@ -206,5 +208,133 @@ exit:
 	}
 	if perfect.Mispredicts != 0 {
 		t.Fatal("perfect BP should not count mispredictions")
+	}
+}
+
+// randBlock generates a random straight-line instruction sequence ending
+// (sometimes) in a conditional branch, using 1-based registers only: the
+// packet fast path encodes absent source slots as NoReg (register 0), whose
+// ready time must stay pinned at zero.
+func randBlock(rng *rand.Rand, numRegs int) ([]*ir.Instr, bool) {
+	reg := func() ir.Reg { return ir.Reg(1 + rng.Intn(numRegs)) }
+	n := 1 + rng.Intn(12)
+	instrs := make([]*ir.Instr, 0, n+1)
+	for i := 0; i < n; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpConst, Type: ir.I64, Dst: reg(), Imm: int64(rng.Intn(100))})
+		case 1:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpMul, Type: ir.I64, Dst: reg(), Args: []ir.Reg{reg(), reg()}})
+		case 2:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpFMul, Type: ir.F64, Dst: reg(), Args: []ir.Reg{reg(), reg()}})
+		case 3:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpLoad, Type: ir.I64, Dst: reg(), Args: []ir.Reg{reg()}})
+		case 4:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpStore, Type: ir.I64, Args: []ir.Reg{reg(), reg()}})
+		case 5:
+			// Wide phi move: 3+ sources spill to the packet's overflow span.
+			args := make([]ir.Reg, 3+rng.Intn(4))
+			for j := range args {
+				args[j] = reg()
+			}
+			instrs = append(instrs, &ir.Instr{Op: ir.OpPhi, Type: ir.I64, Dst: reg(), Args: args})
+		case 6:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpCopy, Type: ir.I64, Dst: reg(), Args: []ir.Reg{reg()}})
+		default:
+			instrs = append(instrs, &ir.Instr{Op: ir.OpAdd, Type: ir.I64, Dst: reg(), Args: []ir.Reg{reg(), reg()}})
+		}
+	}
+	condBr := rng.Intn(2) == 0
+	if condBr {
+		instrs = append(instrs, &ir.Instr{Op: ir.OpCondBr, Type: ir.I64, Args: []ir.Reg{reg()}})
+	}
+	return instrs, condBr
+}
+
+// stateOf snapshots every piece of model state the batched path touches.
+func stateOf(m *Model) map[string]any {
+	return map[string]any{
+		"regReady":    append([]int64(nil), m.regReady...),
+		"aluFree":     append([]int64(nil), m.aluFree...),
+		"fpuFree":     append([]int64(nil), m.fpuFree...),
+		"rob":         append([]int64(nil), m.rob...),
+		"robHead":     m.robHead,
+		"count":       m.count,
+		"fetch":       m.fetch,
+		"fetchRem":    m.fetchRem,
+		"lastDone":    m.lastDone,
+		"bpTable":     append([]int8(nil), m.bpTable...),
+		"bpHistory":   m.bpHistory,
+		"stallUntil":  m.stallUntil,
+		"lastBranch":  m.lastBranch,
+		"Mix":         m.Mix,
+		"Mispredicts": m.Mispredicts,
+		"Branches":    m.Branches,
+		"cacheStats":  m.cache.Stats,
+	}
+}
+
+// TestFeedBlockMatchesSequentialFeed pins the batched-vs-hooked equivalence
+// contract: feeding a timing packet through FeedBlock must leave the model in
+// exactly the state that feeding its instructions one Feed call at a time
+// does — including the gshare predictor path, small-ROB stalls, and partial
+// packets (a block abandoned mid-body by a fault or step limit).
+func TestFeedBlockMatchesSequentialFeed(t *testing.T) {
+	configs := []Config{
+		DefaultConfig(),
+		{Width: 2, ROB: 4, ALUs: 1, FPUs: 1}, // tiny ROB: window stalls
+		{Width: 4, ROB: 96, ALUs: 6, FPUs: 2, RealBranchPredictor: true,
+			BPBits: 6, MispredictPenalty: 12},
+	}
+	const numRegs = 24 // small register file: dense dependence chains
+	for ci, cfg := range configs {
+		rng := rand.New(rand.NewSource(int64(1000 + ci)))
+		batched := New(cfg, numRegs, mem.New(mem.Config{}))
+		oracle := New(cfg, numRegs, mem.New(mem.Config{}))
+		for blk := 0; blk < 300; blk++ {
+			instrs, condBr := randBlock(rng, numRegs)
+			pk := interp.NewTimingPacket(instrs)
+			// Occasionally feed a partial packet, as the capture loop does
+			// when a block faults or hits the step limit mid-body.
+			n := len(instrs)
+			partial := rng.Intn(8) == 0
+			if partial {
+				n = rng.Intn(len(instrs) + 1)
+			}
+			addrs := make([]int64, 0, pk.NumMem)
+			for _, in := range instrs[:n] {
+				if in.Op.IsMemory() {
+					addrs = append(addrs, int64(rng.Intn(4096)))
+				}
+			}
+			batched.FeedBlock(pk, n, addrs)
+			ai := 0
+			for _, in := range instrs[:n] {
+				addr := int64(0)
+				if in.Op.IsMemory() {
+					addr = addrs[ai]
+					ai++
+				}
+				oracle.Feed(in, addr)
+			}
+			if condBr && !partial {
+				taken := rng.Intn(2) == 0
+				batched.NoteBranch(taken)
+				oracle.NoteBranch(taken)
+			}
+			if got, want := stateOf(batched), stateOf(oracle); !reflect.DeepEqual(got, want) {
+				for k := range got {
+					if !reflect.DeepEqual(got[k], want[k]) {
+						t.Errorf("config %d block %d: %s diverged: batched %v, oracle %v",
+							ci, blk, k, got[k], want[k])
+					}
+				}
+				t.Fatalf("config %d: FeedBlock diverged from sequential Feed at block %d", ci, blk)
+			}
+		}
+		if batched.Cycles() == 0 || batched.Instructions() == 0 {
+			t.Fatalf("config %d: degenerate run (cycles=%d instrs=%d)",
+				ci, batched.Cycles(), batched.Instructions())
+		}
 	}
 }

@@ -67,10 +67,33 @@ type FunctionProfile struct {
 	BlockCounts []int64 // indexed by block index
 
 	byID map[int64]*Path
+
+	opsD []int64 // lazy dense path-ID -> op count mirror (DenseOps)
 }
 
 // PathByID returns the executed path with the given ID, or nil.
 func (fp *FunctionProfile) PathByID(id int64) *Path { return fp.byID[id] }
+
+// DenseOps returns a path-ID-indexed array of per-path dynamic op counts,
+// or nil when the function's path-ID space is larger than maxPaths. The
+// array is built once and shared: every offload target evaluated against
+// this profile replays the same trace, so per-target copies would only
+// multiply identical allocations. Not safe for concurrent first calls; the
+// evaluation pipeline builds targets sequentially per function.
+func (fp *FunctionProfile) DenseOps(maxPaths int64) []int64 {
+	if fp.opsD != nil {
+		return fp.opsD
+	}
+	n := fp.DAG.NumPaths()
+	if n <= 0 || n > maxPaths {
+		return nil
+	}
+	fp.opsD = make([]int64, n)
+	for _, p := range fp.Paths {
+		fp.opsD[p.ID] = p.Ops
+	}
+	return fp.opsD
+}
 
 // Collector gathers a function profile across any number of interpreter
 // runs. Create with NewCollector, then either drive it with Run/RunTimed
@@ -148,8 +171,11 @@ func (c *Collector) Run(args, mem []uint64, maxSteps int64) (interp.Result, erro
 
 // RunTimed is Run with an attached timing model and optional branch-history
 // register, the system simulator's configuration. On the fast path the
-// model is fed by direct calls; on the hook path it is wired through
-// interp.CombineHooks exactly as before.
+// model is fed by direct calls — one block-batched FeedBlock per executed
+// block when the model implements interp.BlockTiming (the OOO model does),
+// falling back to per-instruction Feed otherwise; on the hook path it is
+// wired through interp.CombineHooks exactly as before. All three feeds are
+// observably identical; the capture differential tests pin that.
 func (c *Collector) RunTimed(args, mem []uint64, timing interp.Timing, hist *uint64, maxSteps int64) (interp.Result, error) {
 	if c.Fast() {
 		obsRunsFast.Add(1)

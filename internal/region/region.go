@@ -6,8 +6,8 @@ package region
 
 import (
 	"fmt"
-	"sort"
 
+	"needle/internal/analysis"
 	"needle/internal/ir"
 	"needle/internal/pm"
 	"needle/internal/profile"
@@ -124,15 +124,16 @@ func (r *Region) PhiCancel() int {
 // inside the region that are consumed after it. Function liveness is served
 // by am (nil for a one-shot manager).
 func (r *Region) LiveValues(am *pm.Manager) (liveIn, liveOut []ir.Reg) {
-	defsIn := make(map[ir.Reg]bool)
+	nr := r.F.NumRegs()
+	defsIn := analysis.NewRegSet(nr)
 	for _, b := range r.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op.HasDest() {
-				defsIn[in.Dst] = true
+				defsIn.Add(in.Dst)
 			}
 		}
 	}
-	inSet := make(map[ir.Reg]bool)
+	inSet := analysis.NewRegSet(nr)
 	for _, b := range r.Blocks {
 		for _, in := range b.Instrs {
 			if in.Op == ir.OpPhi && b == r.Entry {
@@ -142,59 +143,47 @@ func (r *Region) LiveValues(am *pm.Manager) (liveIn, liveOut []ir.Reg) {
 				// is acyclic, so such a value comes from the previous
 				// dynamic instance).
 				for _, a := range in.Args {
-					inSet[a] = true
+					inSet.Add(a)
 				}
 				continue
 			}
 			in.Uses(func(reg ir.Reg) {
-				if !defsIn[reg] {
-					inSet[reg] = true
+				if !defsIn.Has(reg) {
+					inSet.Add(reg)
 				}
 			})
 		}
 	}
 
 	lv := pm.Ensure(am).Liveness(r.F)
-	outSet := make(map[ir.Reg]bool)
+	outSet := analysis.NewRegSet(nr)
 	// A region-defined value is live-out if it is live on any edge leaving
-	// the region (including the exit block's successors).
+	// the region (including the exit block's successors): word-AND the
+	// successor's live-in set against the region's defs.
 	for _, b := range r.Blocks {
 		for _, s := range b.Succs() {
 			if r.Set[s] && b != r.Exit {
 				continue
 			}
-			for reg := range lv.In[s.Index] {
-				if defsIn[reg] {
-					outSet[reg] = true
-				}
+			for w, v := range lv.In[s.Index] {
+				outSet[w] |= v & defsIn[w]
 			}
 			// Phi uses in the successor attributed to this edge.
 			for _, phi := range s.Phis() {
 				for i, from := range phi.Blocks {
-					if from == b && defsIn[phi.Args[i]] {
-						outSet[phi.Args[i]] = true
+					if from == b && defsIn.Has(phi.Args[i]) {
+						outSet.Add(phi.Args[i])
 					}
 				}
 			}
 		}
 	}
 	// Exit via return: the returned value is live-out.
-	if t := r.Exit.Term(); t != nil && t.Op == ir.OpRet && len(t.Args) == 1 && defsIn[t.Args[0]] {
-		outSet[t.Args[0]] = true
+	if t := r.Exit.Term(); t != nil && t.Op == ir.OpRet && len(t.Args) == 1 && defsIn.Has(t.Args[0]) {
+		outSet.Add(t.Args[0])
 	}
 
-	liveIn = sortedRegs(inSet)
-	liveOut = sortedRegs(outSet)
-	return liveIn, liveOut
-}
-
-func sortedRegs(set map[ir.Reg]bool) []ir.Reg {
-	out := make([]ir.Reg, 0, len(set))
-	for r := range set {
-		out = append(out, r)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return inSet.Regs(), outSet.Regs()
 }
 
 // FromBlock builds a single-basic-block region: the offload granularity of

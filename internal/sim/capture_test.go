@@ -63,10 +63,69 @@ type simTestErr struct{ s string }
 
 func (e *simTestErr) Error() string { return e.s }
 
-// TestCaptureFastMatchesHooked runs the system-simulator capture both ways
-// on real workloads and demands byte-identical traces: same per-occurrence
-// cycle attribution and history snapshots, same baseline cycles, op mix,
-// cache stats, energy, and the same finished profile.
+// assertCaptureEquivalent runs the system-simulator capture both ways on one
+// workload and demands byte-identical traces: same per-occurrence cycle
+// attribution and history snapshots, same baseline cycles, op mix, cache
+// stats, energy, and the same finished profile.
+func assertCaptureEquivalent(t *testing.T, w *workloads.Workload, n int, requireFast bool) {
+	t.Helper()
+	name := w.Name
+	cfg := DefaultConfig()
+
+	f, args, memory := w.Instance(n)
+	if c, err := profile.NewCollector(nil, f, true); err != nil {
+		t.Fatalf("%s: NewCollector: %v", name, err)
+	} else if !c.Fast() && requireFast {
+		t.Fatalf("%s: workload did not take the fast path; test is vacuous", name)
+	}
+	fast, err := Capture(nil, f, args, memory, cfg)
+	if err != nil {
+		t.Fatalf("%s: fast capture: %v", name, err)
+	}
+
+	f2, args2, memory2 := w.Instance(n)
+	slow, err := captureHooked(f2, args2, memory2, cfg)
+	if err != nil {
+		t.Fatalf("%s: hooked capture: %v", name, err)
+	}
+
+	if !reflect.DeepEqual(fast.Occ, slow.Occ) {
+		t.Fatalf("%s: occurrence streams differ (fast %d, hooked %d)", name, len(fast.Occ), len(slow.Occ))
+	}
+	if fast.BaselineCycles != slow.BaselineCycles {
+		t.Errorf("%s: baseline cycles fast=%d hooked=%d", name, fast.BaselineCycles, slow.BaselineCycles)
+	}
+	if fast.Mix != slow.Mix {
+		t.Errorf("%s: op mix fast=%+v hooked=%+v", name, fast.Mix, slow.Mix)
+	}
+	if fast.CacheStats != slow.CacheStats {
+		t.Errorf("%s: cache stats fast=%+v hooked=%+v", name, fast.CacheStats, slow.CacheStats)
+	}
+	if fast.BaselineEnergyPJ != slow.BaselineEnergyPJ {
+		t.Errorf("%s: energy fast=%v hooked=%v", name, fast.BaselineEnergyPJ, slow.BaselineEnergyPJ)
+	}
+	fp, sp := fast.Profile, slow.Profile
+	if fp.TotalWeight != sp.TotalWeight || len(fp.Paths) != len(sp.Paths) {
+		t.Fatalf("%s: profile shape differs", name)
+	}
+	for i := range fp.Paths {
+		if fp.Paths[i].ID != sp.Paths[i].ID || fp.Paths[i].Freq != sp.Paths[i].Freq {
+			t.Fatalf("%s: path %d differs", name, i)
+		}
+	}
+	if !reflect.DeepEqual(fp.Trace, sp.Trace) {
+		t.Fatalf("%s: path traces differ", name)
+	}
+	if !reflect.DeepEqual(fp.BlockCounts, sp.BlockCounts) {
+		t.Fatalf("%s: block counts differ", name)
+	}
+	if !reflect.DeepEqual(fp.EdgeCounts, sp.EdgeCounts) {
+		t.Fatalf("%s: edge counts differ", name)
+	}
+}
+
+// TestCaptureFastMatchesHooked exercises the three biggest captures at a
+// deeper iteration count than the whole-suite sweep below.
 func TestCaptureFastMatchesHooked(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -80,57 +139,23 @@ func TestCaptureFastMatchesHooked(t *testing.T) {
 		if w == nil {
 			t.Fatalf("unknown workload %s", tc.name)
 		}
-		cfg := DefaultConfig()
+		assertCaptureEquivalent(t, w, tc.n, true)
+	}
+}
 
-		f, args, memory := w.Instance(tc.n)
-		if c, err := profile.NewCollector(nil, f, true); err != nil {
-			t.Fatalf("%s: NewCollector: %v", tc.name, err)
-		} else if !c.Fast() {
-			t.Fatalf("%s: workload did not take the fast path; test is vacuous", tc.name)
-		}
-		fast, err := Capture(nil, f, args, memory, cfg)
-		if err != nil {
-			t.Fatalf("%s: fast capture: %v", tc.name, err)
-		}
-
-		f2, args2, memory2 := w.Instance(tc.n)
-		slow, err := captureHooked(f2, args2, memory2, cfg)
-		if err != nil {
-			t.Fatalf("%s: hooked capture: %v", tc.name, err)
-		}
-
-		if !reflect.DeepEqual(fast.Occ, slow.Occ) {
-			t.Fatalf("%s: occurrence streams differ (fast %d, hooked %d)", tc.name, len(fast.Occ), len(slow.Occ))
-		}
-		if fast.BaselineCycles != slow.BaselineCycles {
-			t.Errorf("%s: baseline cycles fast=%d hooked=%d", tc.name, fast.BaselineCycles, slow.BaselineCycles)
-		}
-		if fast.Mix != slow.Mix {
-			t.Errorf("%s: op mix fast=%+v hooked=%+v", tc.name, fast.Mix, slow.Mix)
-		}
-		if fast.CacheStats != slow.CacheStats {
-			t.Errorf("%s: cache stats fast=%+v hooked=%+v", tc.name, fast.CacheStats, slow.CacheStats)
-		}
-		if fast.BaselineEnergyPJ != slow.BaselineEnergyPJ {
-			t.Errorf("%s: energy fast=%v hooked=%v", tc.name, fast.BaselineEnergyPJ, slow.BaselineEnergyPJ)
-		}
-		fp, sp := fast.Profile, slow.Profile
-		if fp.TotalWeight != sp.TotalWeight || len(fp.Paths) != len(sp.Paths) {
-			t.Fatalf("%s: profile shape differs", tc.name)
-		}
-		for i := range fp.Paths {
-			if fp.Paths[i].ID != sp.Paths[i].ID || fp.Paths[i].Freq != sp.Paths[i].Freq {
-				t.Fatalf("%s: path %d differs", tc.name, i)
-			}
-		}
-		if !reflect.DeepEqual(fp.Trace, sp.Trace) {
-			t.Fatalf("%s: path traces differ", tc.name)
-		}
-		if !reflect.DeepEqual(fp.BlockCounts, sp.BlockCounts) {
-			t.Fatalf("%s: block counts differ", tc.name)
-		}
-		if !reflect.DeepEqual(fp.EdgeCounts, sp.EdgeCounts) {
-			t.Fatalf("%s: edge counts differ", tc.name)
-		}
+// TestCaptureFastMatchesHookedAllWorkloads runs the batched-vs-hooked
+// differential over the entire workload suite at a modest iteration count,
+// so every block shape in the corpus (wide phis, dense float kernels,
+// irregular control flow) crosses the packet fast path at least once.
+// Workloads that cannot take the compiled fast path (444.namd) still run:
+// there the comparison pins the hooked fallback against itself, which keeps
+// the test from silently going vacuous if the fast-path predicate changes.
+func TestCaptureFastMatchesHookedAllWorkloads(t *testing.T) {
+	all := workloads.All()
+	if len(all) < 29 {
+		t.Fatalf("workload suite shrank: %d workloads, want >= 29", len(all))
+	}
+	for _, w := range all {
+		assertCaptureEquivalent(t, w, 400, w.Name != "444.namd")
 	}
 }

@@ -104,17 +104,25 @@ func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg
 	var histBefore uint64
 	// The collector's profiler fires OnPath at every completion; snapshot
 	// the host cycle counter and history register around each occurrence.
+	// Only the primitive snapshots accumulate during the run — the
+	// Occurrence structs are assembled afterwards in one exact allocation
+	// from the collector's path-completion count (the recorded path trace).
+	occCycles := make([]int64, 0, 1024)
+	occHists := make([]uint64, 0, 1024)
 	hookProfiler(collector, func(id int64) {
 		now := model.Cycles()
-		tr.Occ = append(tr.Occ, Occurrence{Path: id, Hist: histBefore, Cycles: now - lastCycles})
+		occCycles = append(occCycles, now-lastCycles)
+		occHists = append(occHists, histBefore)
 		lastCycles = now
 		histBefore = hist.H
 	})
 
-	// The fast path feeds the timing model and history register by direct
-	// calls inside the compiled plan loop; the hook combination below is the
-	// general fallback (call-bearing functions, irregular CFG shapes) and
-	// produces byte-identical traces — see the capture equivalence test.
+	// The fast path feeds the timing model by block-batched FeedBlock calls
+	// over the plan's precompiled timing packets, and the history register by
+	// direct updates inside the compiled plan loop; the hook combination
+	// below is the general fallback (call-bearing functions, irregular CFG
+	// shapes) and produces byte-identical traces — see the capture
+	// equivalence tests (single-workload and the 29-workload differential).
 	xsp := sp.Child("capture: execute").SetArg("fast", collector.Fast())
 	if collector.Fast() {
 		if _, err := collector.RunTimed(args, memory, model, &hist.H, cfg.MaxSteps); err != nil {
@@ -134,6 +142,15 @@ func Capture(am *pm.Manager, f *ir.Function, args []uint64, memory []uint64, cfg
 	fsp.End()
 	if err != nil {
 		return nil, err
+	}
+	// One exact allocation: the recorded path trace enumerates completed
+	// occurrences in order, so its length is the occurrence count.
+	if len(fp.Trace) != len(occCycles) {
+		return nil, fmt.Errorf("sim: capture recorded %d occurrences but traced %d paths", len(occCycles), len(fp.Trace))
+	}
+	tr.Occ = make([]Occurrence, len(fp.Trace))
+	for i, id := range fp.Trace {
+		tr.Occ[i] = Occurrence{Path: id, Hist: occHists[i], Cycles: occCycles[i]}
 	}
 	tr.Profile = fp
 	tr.BaselineCycles = model.Cycles()
@@ -158,8 +175,11 @@ type Target struct {
 	Frame  *frame.Frame
 	Sched  *cgra.Sched
 
-	accepts map[int64]bool // path id -> completes on accelerator
-	isOpp   map[int64]bool // path id -> starts at the region entry
+	accepts map[int64]bool  // path id -> completes on accelerator
+	isOpp   map[int64]bool  // path id -> starts at the region entry
+	ops     map[int64]int64 // path id -> dynamic op count, prebuilt so the
+	// non-dense Evaluate fallback pays one map load per occurrence instead of
+	// a PathByID walk over the profile's path list.
 	// Dense mirrors of accepts/isOpp/path-ops indexed by path ID, built when
 	// the function's path space is small enough; Evaluate replays traces with
 	// one occurrence per path completion, so these replace three map lookups
@@ -217,9 +237,11 @@ func newTarget(am *pm.Manager, fp *profile.FunctionProfile, r *region.Region, ac
 		Sched:   cgra.Schedule(fr, cfg.CGRA),
 		accepts: accepts,
 		isOpp:   make(map[int64]bool),
+		ops:     make(map[int64]int64, len(fp.Paths)),
 	}
 	for _, p := range fp.Paths {
 		t.isOpp[p.ID] = len(p.Blocks) > 0 && p.Blocks[0] == r.Entry
+		t.ops[p.ID] = p.Ops
 	}
 	t.buildDense(fp)
 	return t, nil
@@ -230,21 +252,18 @@ func newTarget(am *pm.Manager, fp *profile.FunctionProfile, r *region.Region, ac
 // occurrence per path completion, so this turns three map lookups per
 // occurrence into array loads.
 func (t *Target) buildDense(fp *profile.FunctionProfile) {
-	n := fp.DAG.NumPaths()
-	if n <= 0 || n > interp.MaxDensePaths {
+	t.opsD = fp.DenseOps(interp.MaxDensePaths) // shared across targets
+	if t.opsD == nil {
 		return
 	}
+	n := fp.DAG.NumPaths()
 	t.acceptsD = make([]bool, n)
 	t.isOppD = make([]bool, n)
-	t.opsD = make([]int64, n)
 	for id, v := range t.accepts {
 		t.acceptsD[id] = v
 	}
 	for id, v := range t.isOpp {
 		t.isOppD[id] = v
-	}
-	for _, p := range fp.Paths {
-		t.opsD[p.ID] = p.Ops
 	}
 }
 
@@ -298,6 +317,10 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 	perOpPJ := energy.PerOpPJ(cfg.CPU, tr.Mix, tr.CacheStats)
 
 	oracle, isOracle := pred.(*spec.Oracle)
+	// The replay loop calls the predictor twice per opportunity; the common
+	// predictors are resolved to concrete types here so those calls inline
+	// instead of dispatching through the interface per occurrence.
+	histPred, _ := pred.(*spec.History)
 	var cycles int64
 	energyPJ := tr.BaselineEnergyPJ // adjusted incrementally
 	var acceleratedWeight int64
@@ -327,7 +350,15 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 		if isOracle {
 			oracle.SetNext(success)
 		}
-		invoke := pred.Predict(occ.Hist)
+		var invoke bool
+		switch {
+		case histPred != nil:
+			invoke = histPred.Predict(occ.Hist)
+		case isOracle:
+			invoke = success
+		default:
+			invoke = pred.Predict(occ.Hist)
+		}
 		if invoke {
 			res.Invocations++
 			if !reconfigured {
@@ -337,8 +368,8 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 			occOps := int64(0)
 			if dense {
 				occOps = tgt.opsD[occ.Path]
-			} else if p := tr.Profile.PathByID(occ.Path); p != nil {
-				occOps = p.Ops
+			} else {
+				occOps = tgt.ops[occ.Path]
 			}
 			if success {
 				res.Successes++
@@ -369,7 +400,13 @@ func Evaluate(tr *Trace, tgt *Target, pred spec.Predictor, cfg Config) Result {
 			cycles += occ.Cycles
 			inRun = false
 		}
-		pred.Update(occ.Hist, success)
+		switch {
+		case histPred != nil:
+			histPred.Update(occ.Hist, success)
+		case isOracle: // no-op update
+		default:
+			pred.Update(occ.Hist, success)
+		}
 	}
 
 	res.OffloadCycles = cycles
@@ -547,7 +584,11 @@ func NewHyperblockTarget(am *pm.Manager, fp *profile.FunctionProfile, hb *region
 		// Only covered flows are offload opportunities: uncovered paths run
 		// on the host with no penalty (non-speculative regions exit cleanly).
 		isOpp:    accepts,
+		ops:      make(map[int64]int64, len(fp.Paths)),
 		fullExec: true,
+	}
+	for _, p := range fp.Paths {
+		t.ops[p.ID] = p.Ops
 	}
 	t.buildDense(fp)
 	return t, nil

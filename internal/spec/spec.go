@@ -256,6 +256,17 @@ type HistoryTracker struct {
 	H uint64
 }
 
+// Shift records one conditional-branch outcome: a 1 bit is shifted in for
+// taken, 0 for fall-through. The interpreter's compiled fast path calls it
+// directly; the hook path goes through Hooks.
+func (ht *HistoryTracker) Shift(taken bool) {
+	bit := uint64(0)
+	if taken {
+		bit = 1
+	}
+	ht.H = ht.H<<1 | bit
+}
+
 // Hooks returns interpreter hooks that update the history register.
 func (ht *HistoryTracker) Hooks() *interp.Hooks {
 	return &interp.Hooks{
@@ -264,11 +275,7 @@ func (ht *HistoryTracker) Hooks() *interp.Hooks {
 			if t == nil || t.Op != ir.OpCondBr {
 				return
 			}
-			bit := uint64(0)
-			if t.Blocks[0] == to {
-				bit = 1
-			}
-			ht.H = ht.H<<1 | bit
+			ht.Shift(t.Blocks[0] == to)
 		},
 	}
 }

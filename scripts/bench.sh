@@ -6,6 +6,9 @@
 #
 #   - BenchmarkSweep — the end-to-end 29-workload profiling+evaluation
 #     sweep — more than 15% slower than sweep_ns_per_op;
+#   - BenchmarkCapture — the system-simulator capture alone (compiled
+#     interpreter fast path + block-batched timing packets) — more than 15%
+#     slower than capture_ns_per_op;
 #   - BenchmarkAblationPredictor/cached — the downstream-knob ablation sweep
 #     through the shared artifact cache — more than 15% slower than
 #     ablation_cached_ns_per_op, or less than 1.5x faster than its own
@@ -24,14 +27,14 @@
 #       cost the paper pipeline pays by default)
 #
 # To accept a new baseline after an intentional change, update
-# scripts/bench_baseline.json with the sweep_ns_per_op,
+# scripts/bench_baseline.json with the sweep_ns_per_op, capture_ns_per_op,
 # ablation_cached_ns_per_op, and warmstart_warm_ns_per_op this script
 # reports.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benches='^(BenchmarkSweep|BenchmarkSweepWarmStart|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
+benches='^(BenchmarkSweep|BenchmarkSweepWarmStart|BenchmarkCapture|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
 benchtime="${BENCH_TIME:-5x}"
 
 echo "running sweep benchmarks (benchtime $benchtime)..."
@@ -47,6 +50,11 @@ ns_of() {
 sweep=$(ns_of BenchmarkSweep)
 if [ -z "$sweep" ]; then
     echo "bench: BenchmarkSweep produced no result" >&2
+    exit 1
+fi
+cap=$(ns_of BenchmarkCapture)
+if [ -z "$cap" ]; then
+    echo "bench: BenchmarkCapture produced no result" >&2
     exit 1
 fi
 abl_fresh=$(ns_of 'BenchmarkAblationPredictor/fresh')
@@ -70,13 +78,14 @@ file="BENCH_${date}.json"
     echo "  \"go\": \"$(go env GOVERSION)\","
     echo "  \"benchtime\": \"${benchtime}\","
     echo "  \"sweep_ns_per_op\": ${sweep},"
+    echo "  \"capture_ns_per_op\": ${cap},"
     echo "  \"ablation_fresh_ns_per_op\": ${abl_fresh},"
     echo "  \"ablation_cached_ns_per_op\": ${abl_cached},"
     echo "  \"warmstart_cold_ns_per_op\": ${ws_cold},"
     echo "  \"warmstart_warm_ns_per_op\": ${ws_warm},"
     echo "  \"benchmarks\": {"
     first=1
-    for b in BenchmarkSweep BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel \
+    for b in BenchmarkSweep BenchmarkCapture BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel \
              BenchmarkAblationPredictor/fresh BenchmarkAblationPredictor/cached \
              BenchmarkSweepWarmStart/cold BenchmarkSweepWarmStart/warm; do
         ns=$(ns_of "$b")
@@ -148,5 +157,6 @@ gate() {
 }
 
 gate sweep "$sweep" sweep_ns_per_op
+gate capture "$cap" capture_ns_per_op
 gate ablation-cached "$abl_cached" ablation_cached_ns_per_op
 gate warmstart-warm "$ws_warm" warmstart_warm_ns_per_op
