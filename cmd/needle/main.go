@@ -124,6 +124,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 
 	cfg := core.DefaultConfig()
 	cfg.N = n
+	az := core.New(core.WithStore(store), core.WithJobs(jobs))
 
 	switch {
 	case benchOut:
@@ -137,7 +138,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
 			return
 		}
-		a, err := core.AnalyzeWithStore(store, w, cfg)
+		a, err := az.Run(ctx, w, cfg)
 		if err != nil {
 			fatal("analyze: %v", err)
 		}
@@ -158,7 +159,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 		}
 		report(a)
 	case jsonOut:
-		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
+		as, err := az.RunAll(ctx, cfg)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
@@ -216,7 +217,7 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 		// Observability-only run (`needle -trace out.json`): sweep every
 		// workload so the exported timeline covers the whole pipeline, but
 		// emit no table output.
-		as, err := core.AnalyzeAllCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
+		as, err := az.RunAll(ctx, cfg)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}

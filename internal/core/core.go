@@ -3,21 +3,23 @@
 // control flow, form braids and baseline regions, construct software
 // frames, and evaluate offload on the modeled system. It is the programmatic
 // equivalent of the paper's Figure 1 flow and the entry point used by the
-// command-line tools, the examples, and the experiment harness.
+// command-line tools, the needled daemon, the examples, and the experiment
+// harness.
 //
-// Since the staged-pipeline refactor the heavy lifting lives in
-// internal/pipeline (named stages over typed artifacts) and internal/target
-// (pluggable evaluation backends); Analyze and AnalyzeAllCtx are thin
-// compatibility wrappers that flatten the staged artifacts into the
-// Analysis struct, byte-for-byte identical to the old monolith. AnalyzeWith
-// adds cross-config artifact reuse via a pipeline.Cache.
+// The entry point is the Analyzer (analyzer.go): core.New(opts...) with
+// functional options (WithStore, WithJobs, WithProgress, WithObsSpan) and
+// the Run/RunAll methods. The heavy lifting lives in internal/pipeline
+// (named stages over typed artifacts) and internal/target (pluggable
+// evaluation backends); the Analyzer flattens the staged artifacts into the
+// Analysis struct, byte-for-byte identical to the old monolith. The
+// historical package-level functions in this file — Analyze, AnalyzeWith,
+// AnalyzeWithStore, AnalyzeAllCtx — remain as thin wrappers over a
+// one-shot Analyzer.
 package core
 
 import (
 	"context"
 	"fmt"
-	"runtime"
-	"sync"
 
 	"needle/internal/frame"
 	"needle/internal/hls"
@@ -90,28 +92,25 @@ type Analysis struct {
 	HLS           hls.Report
 }
 
-// Analyze runs the full pipeline on a workload. Kernels with calls are
-// aggressively inlined first, exactly as the paper's LLVM front half does
-// before profiling (Section II-A). Zero-valued Config fields are filled
-// from DefaultConfig field by field, so a partially-specified Config keeps
-// every field the caller did set.
+// Analyze runs the full pipeline on a workload with a fresh one-shot
+// Analyzer. It is equivalent to New().Run(context.Background(), w, cfg).
 func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return analyzeSpanned(nil, w, cfg, nil)
+	return New().Run(context.Background(), w, cfg)
 }
 
-// AnalyzeWith runs the pipeline with stage-artifact reuse: upstream
-// artifacts (inlined function, captured profile, braids, hot-braid frame)
-// are shared through the cache with every other run whose workload and
-// upstream config fingerprints match, so a sweep over downstream knobs —
-// predictor history bits, CGRA parameters, selection bounds — re-profiles
-// nothing. A nil cache computes everything fresh; results are identical
-// either way.
+// AnalyzeWith runs the pipeline with stage-artifact reuse through an
+// in-memory cache: upstream artifacts (inlined function, captured profile,
+// braids, hot-braid frame) are shared with every other run whose workload
+// and upstream config fingerprints match, so a sweep over downstream knobs
+// — predictor history bits, CGRA parameters, selection bounds —
+// re-profiles nothing. A nil cache computes everything fresh; results are
+// identical either way.
 func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Analysis, error) {
 	var store pipeline.Store
 	if cache != nil {
 		store = cache
 	}
-	return analyzeSpanned(store, w, cfg, nil)
+	return New(WithStore(store)).Run(context.Background(), w, cfg)
 }
 
 // AnalyzeWithStore is AnalyzeWith over any artifact store — in particular a
@@ -119,19 +118,7 @@ func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Ana
 // process persisted. A nil store computes everything fresh; results are
 // byte-identical either way.
 func AnalyzeWithStore(store pipeline.Store, w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return analyzeSpanned(store, w, cfg, nil)
-}
-
-// analyzeSpanned is Analyze parented under an observability span (nil for a
-// root span; the sweep passes each worker's span so per-workload timelines
-// land on the worker's track).
-func analyzeSpanned(store pipeline.Store, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
-	obsAnalyses.Add(1)
-	arts, err := pipeline.Run(w, cfg, pipeline.RunOptions{Parent: parent, Store: store})
-	if err != nil {
-		return nil, err
-	}
-	return fromArtifacts(arts)
+	return New(WithStore(store)).Run(context.Background(), w, cfg)
 }
 
 // fromArtifacts flattens the staged artifacts into the Analysis struct the
@@ -164,7 +151,9 @@ func fromArtifacts(arts *pipeline.Artifacts) (*Analysis, error) {
 	return a, nil
 }
 
-// Options configures a sweep over the registered workloads.
+// Options configures a sweep over the registered workloads — the
+// pre-Analyzer way to spell New(WithJobs(...), WithStore(...)). It remains
+// the argument type of AnalyzeAllCtx and tables.RunCtx.
 type Options struct {
 	// Jobs bounds the worker pool: GOMAXPROCS when <= 0, serial when 1.
 	Jobs int
@@ -189,101 +178,16 @@ func (o Options) store() pipeline.Store {
 	return nil
 }
 
+// Analyzer returns the Analyzer these options describe.
+func (o Options) Analyzer() *Analyzer {
+	return New(WithStore(o.store()), WithJobs(o.Jobs))
+}
+
 // AnalyzeAllCtx runs the pipeline over every registered workload on a
-// bounded worker pool. Each workload's analysis owns its manager and shares
-// no mutable state with the others, so the result slice is in registration
-// order and identical to a serial run; on failure the error of the
-// earliest-registered failing workload is returned.
-//
-// Cancelling ctx stops the sweep between workloads (a workload analysis
-// already in flight runs to completion) and returns ctx.Err().
+// bounded worker pool; it is Options.Analyzer().RunAll(ctx, cfg). See
+// Analyzer.RunAll for the ordering, error, and cancellation contract.
 func AnalyzeAllCtx(ctx context.Context, cfg Config, opts Options) ([]*Analysis, error) {
-	ws := workloads.All()
-	jobs := opts.Jobs
-	if jobs <= 0 {
-		jobs = runtime.GOMAXPROCS(0)
-	}
-	if jobs > len(ws) {
-		jobs = len(ws)
-	}
-	root := obs.StartOnTrack("sweep", 0).
-		SetArg("workloads", len(ws)).SetArg("jobs", jobs)
-	defer root.End()
-
-	store := opts.store()
-	out := make([]*Analysis, len(ws))
-	errs := make([]error, len(ws))
-	if jobs <= 1 {
-		for i, w := range ws {
-			if err := ctx.Err(); err != nil {
-				return nil, err
-			}
-			a, err := analyzeSpanned(store, w, cfg, root)
-			if err != nil {
-				return nil, err
-			}
-			obsSweepUnits.Add(1)
-			out[i] = a
-		}
-		return out, nil
-	}
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	for j := 0; j < jobs; j++ {
-		wg.Add(1)
-		go func(j int) {
-			defer wg.Done()
-			// One span per worker on its own track: the exported timeline
-			// shows each worker's utilization as one lane.
-			wsp := obs.StartOnTrack(fmt.Sprintf("worker-%d", j+1), j+1)
-			defer wsp.End()
-			for i := range idx {
-				if ctx.Err() != nil {
-					continue
-				}
-				out[i], errs[i] = analyzeSpanned(store, ws[i], cfg, wsp)
-				if errs[i] == nil {
-					obsSweepUnits.Add(1)
-				}
-			}
-		}(j)
-	}
-feed:
-	for i := range ws {
-		select {
-		case idx <- i:
-		case <-ctx.Done():
-			break feed
-		}
-	}
-	close(idx)
-	wg.Wait()
-	if err := ctx.Err(); err != nil {
-		return nil, err
-	}
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
-		}
-	}
-	return out, nil
-}
-
-// AnalyzeAll runs the pipeline over every registered workload with the
-// default degree of parallelism (GOMAXPROCS).
-//
-// Deprecated: use AnalyzeAllCtx, which adds cancellation.
-func AnalyzeAll(cfg Config) ([]*Analysis, error) {
-	return AnalyzeAllCtx(context.Background(), cfg, Options{})
-}
-
-// AnalyzeAllJobs runs the pipeline over every registered workload on a
-// bounded worker pool of `jobs` goroutines.
-//
-// Deprecated: use AnalyzeAllCtx, which subsumes the jobs parameter via
-// Options and adds cancellation.
-func AnalyzeAllJobs(cfg Config, jobs int) ([]*Analysis, error) {
-	return AnalyzeAllCtx(context.Background(), cfg, Options{Jobs: jobs})
+	return opts.Analyzer().RunAll(ctx, cfg)
 }
 
 // HottestBraid returns the top-ranked braid, or nil.

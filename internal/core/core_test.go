@@ -170,8 +170,8 @@ func TestAnalyzeAllCtxMidSweepCancel(t *testing.T) {
 	}
 }
 
-func TestDeprecatedWrappersStillWork(t *testing.T) {
-	as, err := AnalyzeAllJobs(Config{N: 1500}, 2)
+func TestAnalyzerRunAllRegistrationOrder(t *testing.T) {
+	as, err := New(WithJobs(2)).RunAll(context.Background(), Config{N: 1500})
 	if err != nil {
 		t.Fatal(err)
 	}

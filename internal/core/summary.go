@@ -6,11 +6,21 @@ import (
 	"needle/internal/sim"
 )
 
+// SummarySchemaVersion identifies the layout of the Summary payload that
+// `needle -json` and the needled HTTP API emit. Bump it whenever a field is
+// added, renamed, removed, or changes meaning, so consumers can gate on the
+// contract instead of sniffing fields; the golden files under testdata pin
+// the exact bytes of the current version.
+const SummarySchemaVersion = 1
+
 // Summary is the machine-readable digest of one workload's analysis, used
-// by `needle -json` so external tooling (plotting scripts, regression
-// dashboards) can consume the reproduction's numbers without scraping the
-// table renderings.
+// by `needle -json` and the needled daemon's /v1/analyze and /v1/sweep
+// endpoints so external tooling (plotting scripts, regression dashboards)
+// can consume the reproduction's numbers without scraping the table
+// renderings.
 type Summary struct {
+	SchemaVersion int `json:"schemaVersion"`
+
 	Workload string `json:"workload"`
 	Suite    string `json:"suite"`
 	N        int    `json:"n"`
@@ -73,6 +83,8 @@ func offloadSummary(r sim.Result, policy string) OffloadSummary {
 // Summarize flattens an Analysis into its Summary.
 func Summarize(a *Analysis) Summary {
 	s := Summary{
+		SchemaVersion: SummarySchemaVersion,
+
 		Workload: a.Workload.Name,
 		Suite:    a.Workload.Suite,
 		N:        a.Config.N,

@@ -140,16 +140,21 @@ func (r *Registry) Start(name string) *Span { return r.start(name, 0) }
 func (r *Registry) StartOnTrack(name string, track int) *Span {
 	s := r.start(name, track)
 	if s != nil {
-		r.mu.Lock()
-		if r.tracks == nil {
-			r.tracks = make(map[int]string)
-		}
-		if _, ok := r.tracks[track]; !ok {
-			r.tracks[track] = name
-		}
-		r.mu.Unlock()
+		r.noteTrack(track, name)
 	}
 	return s
+}
+
+// noteTrack names a track's lane after the first span started on it.
+func (r *Registry) noteTrack(track int, name string) {
+	r.mu.Lock()
+	if r.tracks == nil {
+		r.tracks = make(map[int]string)
+	}
+	if _, ok := r.tracks[track]; !ok {
+		r.tracks[track] = name
+	}
+	r.mu.Unlock()
 }
 
 func (r *Registry) start(name string, track int) *Span {
@@ -179,6 +184,23 @@ func (s *Span) Child(name string) *Span {
 		return Default().Start(name)
 	}
 	return s.r.start(name, s.track)
+}
+
+// ChildOnTrack begins a span nested under s on an explicit track, naming the
+// track's lane after it (first span wins, as with StartOnTrack). It keeps a
+// multi-lane hierarchy — a sweep root with one lane per worker — inside
+// whatever registry s records to, so a request-scoped sweep exports per-worker
+// utilization exactly like a process-wide one. On a nil parent it falls back
+// to StartOnTrack on the Default registry.
+func (s *Span) ChildOnTrack(name string, track int) *Span {
+	if s == nil {
+		return Default().StartOnTrack(name, track)
+	}
+	c := s.r.start(name, track)
+	if c != nil {
+		s.r.noteTrack(track, name)
+	}
+	return c
 }
 
 // SetArg attaches a key/value annotation exported with the span. It returns

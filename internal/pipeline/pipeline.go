@@ -19,6 +19,7 @@
 package pipeline
 
 import (
+	"context"
 	"fmt"
 
 	"needle/internal/frame"
@@ -202,6 +203,29 @@ func StageNames() []string {
 	return names
 }
 
+// stageKeys returns the cumulative cache key of every stage for a normalized
+// config: the workload name plus the fingerprints of the stage and everything
+// upstream of it, in execution order.
+func stageKeys(w *workloads.Workload, cfg Config) []string {
+	keys := make([]string, len(stages))
+	key := w.Name
+	for i := range stages {
+		key += "|" + stages[i].Name + "{" + stages[i].Fingerprint(cfg) + "}"
+		keys[i] = key
+	}
+	return keys
+}
+
+// Fingerprint returns the full cumulative fingerprint of a run: the workload
+// plus every stage's config fingerprint, after the same normalization Run
+// applies. Two runs with equal fingerprints produce byte-identical artifacts
+// and summaries, so request-collapsing layers (the serve daemon's
+// singleflight) key on it.
+func Fingerprint(w *workloads.Workload, cfg Config) string {
+	keys := stageKeys(w, cfg.WithDefaults())
+	return keys[len(keys)-1]
+}
+
 var inlineStage = Stage{
 	Name:        "inline",
 	Fingerprint: func(c Config) string { return fmt.Sprintf("n=%d", c.N) },
@@ -335,6 +359,13 @@ type RunOptions struct {
 	// Cache is the pre-Store way to share artifacts, kept for
 	// compatibility; it is consulted only when Store is nil.
 	Cache *Cache
+	// Ctx cancels the run between stages: when it is non-nil and done, Run
+	// returns ctx.Err() instead of starting the next stage. A stage already
+	// in flight runs to completion (the same granularity the sweep's
+	// cancellation has always had), and a cancellation never poisons the
+	// artifact store — the ctx check happens outside Store.Do, and the
+	// memory tier additionally refuses to memoize cancellation errors.
+	Ctx context.Context
 }
 
 // store returns the effective artifact store: Store wins, then Cache, then
@@ -356,7 +387,8 @@ func (o RunOptions) store() Store {
 // memory tier, or (for a DiskStore) rehydrated from a previous process's
 // persisted artifacts; the Target stage always evaluates fresh against the
 // (possibly shared) upstream artifacts. Output is byte-identical whichever
-// tier the artifacts come from.
+// tier the artifacts come from. With a Ctx, the run stops between stages
+// once the context is done and returns its error.
 func Run(w *workloads.Workload, cfg Config, opts RunOptions) (*Artifacts, error) {
 	cfg = cfg.WithDefaults()
 	sp := opts.Parent.Child("analyze " + w.Name)
@@ -365,10 +397,15 @@ func Run(w *workloads.Workload, cfg Config, opts RunOptions) (*Artifacts, error)
 
 	store := opts.store()
 	a := &Artifacts{Workload: w, Config: cfg, Span: sp}
-	key := w.Name
+	keys := stageKeys(w, cfg)
 	for i := range stages {
 		st := &stages[i]
-		key += "|" + st.Name + "{" + st.Fingerprint(cfg) + "}"
+		if opts.Ctx != nil {
+			if err := opts.Ctx.Err(); err != nil {
+				return nil, err
+			}
+		}
+		key := keys[i]
 		ssp := sp.Child(st.Name)
 		var out any
 		var err error

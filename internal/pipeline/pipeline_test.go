@@ -1,11 +1,14 @@
 package pipeline
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
 	"sync"
 	"testing"
+
+	"needle/internal/workloads"
 )
 
 func TestStageNamesInOrder(t *testing.T) {
@@ -200,5 +203,59 @@ func TestCumulativeKeysEmbedUpstream(t *testing.T) {
 				t.Errorf("frame key %q missing problem size", key)
 			}
 		}
+	}
+}
+
+// TestFingerprintNormalizesAndDiscriminates pins the exported run
+// fingerprint the serve daemon's singleflight keys on: the zero Config and
+// an explicit DefaultConfig() collapse to the same key, while workload or
+// config changes (upstream or downstream) produce distinct keys.
+func TestFingerprintNormalizesAndDiscriminates(t *testing.T) {
+	ws := workloads.All()
+	w, w2 := ws[0], ws[1]
+	if Fingerprint(w, Config{}) != Fingerprint(w, DefaultConfig()) {
+		t.Error("zero config and DefaultConfig() must share a fingerprint")
+	}
+	if Fingerprint(w, Config{}) == Fingerprint(w2, Config{}) {
+		t.Error("different workloads must not share a fingerprint")
+	}
+	big := DefaultConfig()
+	big.N = 4096
+	if Fingerprint(w, big) == Fingerprint(w, DefaultConfig()) {
+		t.Error("problem size must change the fingerprint")
+	}
+	hist := DefaultConfig()
+	hist.Sim.HistBits = 16
+	if Fingerprint(w, hist) == Fingerprint(w, DefaultConfig()) {
+		t.Error("a downstream knob must still change the full fingerprint")
+	}
+	last := stageKeys(w, DefaultConfig().WithDefaults())
+	if Fingerprint(w, DefaultConfig()) != last[len(last)-1] {
+		t.Error("Fingerprint must equal the final cumulative stage key Run uses")
+	}
+}
+
+// TestRunCtxCancelsBetweenStages: a done RunOptions.Ctx stops the run
+// before the next stage, returns the context's error, and leaves no
+// memoized cancellation behind in the store.
+func TestRunCtxCancelsBetweenStages(t *testing.T) {
+	w := workloads.All()[0]
+	cfg := DefaultConfig()
+	cfg.N = 600
+	cache := NewCache()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Run(w, cfg, RunOptions{Store: cache, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if n := cache.Len(); n != 0 {
+		t.Fatalf("cancelled run memoized %d artifacts before its first stage", n)
+	}
+	arts, err := Run(w, cfg, RunOptions{Store: cache, Ctx: context.Background()})
+	if err != nil {
+		t.Fatalf("run after cancellation: %v", err)
+	}
+	if arts.Target == nil || arts.Frame == nil {
+		t.Fatal("post-cancellation run incomplete")
 	}
 }

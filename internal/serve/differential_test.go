@@ -1,0 +1,227 @@
+// Differential tests: the service runs the real pipeline and must be
+// byte-identical to the CLI's -json output, collapse identical concurrent
+// requests onto one run, stream real sweeps, and never let an expired
+// deadline poison the shared store.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"needle/internal/core"
+	"needle/internal/obs"
+	"needle/internal/workloads"
+)
+
+// cliBytes returns exactly what `needle -json -workload <w>` prints for
+// this workload and config: MarshalSummaries plus Println's newline.
+func cliBytes(t *testing.T, w *workloads.Workload, cfg core.Config) []byte {
+	t.Helper()
+	a, err := core.New().Run(context.Background(), w, cfg)
+	if err != nil {
+		t.Fatalf("reference run %s: %v", w.Name, err)
+	}
+	out, err := core.MarshalSummaries([]*core.Analysis{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return append(out, '\n')
+}
+
+// TestAnalyzeMatchesCLIBytes pins the core API contract across several
+// workloads: POST /v1/analyze responds with the exact bytes the CLI emits.
+func TestAnalyzeMatchesCLIBytes(t *testing.T) {
+	s := New(Config{Jobs: 2})
+	defer s.Close()
+	ws := workloads.All()
+	if len(ws) < 5 {
+		t.Fatalf("differential test needs >= 5 workloads, have %d", len(ws))
+	}
+	for _, w := range ws[:5] {
+		rr := doReq(s, http.MethodPost, "/v1/analyze", fmt.Sprintf(`{"workload":%q,"n":500}`, w.Name))
+		if rr.Code != http.StatusOK {
+			t.Fatalf("%s: status %d (body %q)", w.Name, rr.Code, rr.Body.String())
+		}
+		if v := rr.Header().Get("X-Needle-Schema-Version"); v != fmt.Sprint(core.SummarySchemaVersion) {
+			t.Errorf("%s: schema version header %q, want %d", w.Name, v, core.SummarySchemaVersion)
+		}
+		cfg := core.DefaultConfig()
+		cfg.N = 500
+		if want := cliBytes(t, w, cfg); !bytes.Equal(rr.Body.Bytes(), want) {
+			t.Errorf("%s: response diverges from CLI bytes:\n got %s\nwant %s", w.Name, rr.Body.Bytes(), want)
+		}
+	}
+}
+
+// TestAnalyzeMatchesCLIBytesCustomConfig: a fully explicit config travels
+// through the JSON payload and still reproduces the CLI bytes.
+func TestAnalyzeMatchesCLIBytesCustomConfig(t *testing.T) {
+	s := New(Config{Jobs: 1})
+	defer s.Close()
+	w := workloads.All()[0]
+	cfg := core.DefaultConfig()
+	cfg.N = 600
+	cfg.Sim.HistBits = 16
+	body, err := json.Marshal(analyzeRequest{Workload: w.Name, Config: &cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rr := doReq(s, http.MethodPost, "/v1/analyze", string(body))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("status %d (body %q)", rr.Code, rr.Body.String())
+	}
+	if want := cliBytes(t, w, cfg); !bytes.Equal(rr.Body.Bytes(), want) {
+		t.Errorf("custom config diverges from CLI bytes:\n got %s\nwant %s", rr.Body.Bytes(), want)
+	}
+}
+
+// TestConcurrentIdenticalRequestsCollapse: several identical requests
+// against the real pipeline produce one run (the leader is gated until
+// every follower has joined) and byte-identical responses for all callers.
+func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
+	s := New(Config{Jobs: 2})
+	defer s.Close()
+	const followers = 2
+	real := s.analyze
+	var runs int32
+	s.analyze = func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error) {
+		atomic.AddInt32(&runs, 1)
+		waitUntil(t, func() bool { return s.Collapsed() >= followers })
+		return real(ctx, parent, w, cfg)
+	}
+	var wg sync.WaitGroup
+	bodies := make([][]byte, followers+1)
+	for i := 0; i <= followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rr := doReq(s, http.MethodPost, "/v1/analyze", `{"workload":"164.gzip","n":700}`)
+			if rr.Code != http.StatusOK {
+				t.Errorf("request %d: status %d (body %q)", i, rr.Code, rr.Body.String())
+				return
+			}
+			bodies[i] = rr.Body.Bytes()
+		}(i)
+	}
+	wg.Wait()
+	if n := atomic.LoadInt32(&runs); n != 1 {
+		t.Errorf("identical concurrent requests ran %d pipelines, want 1", n)
+	}
+	if c := s.Collapsed(); c != followers {
+		t.Errorf("Collapsed() = %d, want %d", c, followers)
+	}
+	for i := 1; i < len(bodies); i++ {
+		if !bytes.Equal(bodies[0], bodies[i]) {
+			t.Errorf("request %d body diverges from request 0", i)
+		}
+	}
+	cfg := core.DefaultConfig()
+	cfg.N = 700
+	if want := cliBytes(t, workloads.ByName("164.gzip"), cfg); !bytes.Equal(bodies[0], want) {
+		t.Error("collapsed response diverges from CLI bytes")
+	}
+}
+
+// TestSweepStreamsNDJSON: a real sweep streams one compact summary line per
+// workload, each carrying the schema version, covering the whole suite.
+func TestSweepStreamsNDJSON(t *testing.T) {
+	s := New(Config{Jobs: 4})
+	defer s.Close()
+	rr := doReq(s, http.MethodPost, "/v1/sweep", `{"n":400}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("sweep: status %d (body %q)", rr.Code, rr.Body.String())
+	}
+	if ct := rr.Header().Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("sweep content type %q", ct)
+	}
+	lines := strings.Split(strings.TrimRight(rr.Body.String(), "\n"), "\n")
+	ws := workloads.All()
+	if len(lines) != len(ws) {
+		t.Fatalf("streamed %d lines, want %d", len(lines), len(ws))
+	}
+	seen := make(map[string]bool)
+	for i, line := range lines {
+		var sum core.Summary
+		if err := json.Unmarshal([]byte(line), &sum); err != nil {
+			t.Fatalf("line %d is not a summary: %v (%q)", i, err, line)
+		}
+		if sum.SchemaVersion != core.SummarySchemaVersion {
+			t.Errorf("line %d: schemaVersion %d, want %d", i, sum.SchemaVersion, core.SummarySchemaVersion)
+		}
+		if sum.N != 400 {
+			t.Errorf("line %d: n = %d, want 400", i, sum.N)
+		}
+		seen[sum.Workload] = true
+	}
+	for _, w := range ws {
+		if !seen[w.Name] {
+			t.Errorf("sweep stream missing workload %s", w.Name)
+		}
+	}
+}
+
+// TestDeadlineDoesNotPoisonStore: a request that dies on its deadline must
+// not memoize the interruption — the next identical request on the same
+// warm store succeeds with the correct bytes.
+func TestDeadlineDoesNotPoisonStore(t *testing.T) {
+	s := New(Config{Jobs: 1})
+	defer s.Close()
+	// The problem size must be large enough that the run cannot finish
+	// inside the 1ms deadline (the synthetic kernels are fast; at the
+	// default sizes a whole run beats a millisecond on a warm machine).
+	const n = 200000
+	rr := doReq(s, http.MethodPost, "/v1/analyze", fmt.Sprintf(`{"workload":"456.hmmer","n":%d,"timeoutMs":1}`, n))
+	if rr.Code != statusClientClosedRequest {
+		t.Fatalf("expired request: status %d, want %d (body %q)", rr.Code, statusClientClosedRequest, rr.Body.String())
+	}
+	rr = doReq(s, http.MethodPost, "/v1/analyze", fmt.Sprintf(`{"workload":"456.hmmer","n":%d}`, n))
+	if rr.Code != http.StatusOK {
+		t.Fatalf("retry after deadline: status %d (body %q)", rr.Code, rr.Body.String())
+	}
+	cfg := core.DefaultConfig()
+	cfg.N = n
+	if want := cliBytes(t, workloads.ByName("456.hmmer"), cfg); !bytes.Equal(rr.Body.Bytes(), want) {
+		t.Error("post-deadline retry diverges from CLI bytes")
+	}
+}
+
+// TestTraceDownload: ?trace=1 responds with a request-scoped Chrome trace
+// whose events cover the pipeline stages of exactly this run.
+func TestTraceDownload(t *testing.T) {
+	s := New(Config{Jobs: 1})
+	defer s.Close()
+	rr := doReq(s, http.MethodPost, "/v1/analyze?trace=1", `{"workload":"164.gzip","n":500}`)
+	if rr.Code != http.StatusOK {
+		t.Fatalf("trace request: status %d (body %q)", rr.Code, rr.Body.String())
+	}
+	if cd := rr.Header().Get("Content-Disposition"); !strings.Contains(cd, "164.gzip") {
+		t.Errorf("trace Content-Disposition %q", cd)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(rr.Body.Bytes(), &trace); err != nil {
+		t.Fatalf("trace body is not Chrome trace JSON: %v", err)
+	}
+	names := make(map[string]bool)
+	for _, e := range trace.TraceEvents {
+		if e.Ph == "X" {
+			names[e.Name] = true
+		}
+	}
+	for _, want := range []string{"request: analyze 164.gzip", "inline", "profile", "select", "frame", "target"} {
+		if !names[want] {
+			t.Errorf("trace missing span %q (have %v)", want, names)
+		}
+	}
+}

@@ -1,0 +1,391 @@
+// HTTP endpoint handlers. Payload shapes and status codes are documented
+// in docs/SERVICE.md; the summary bytes themselves are pinned by the golden
+// files under internal/core/testdata and the serve differential tests.
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"time"
+
+	"needle/internal/core"
+	"needle/internal/obs"
+	"needle/internal/pipeline"
+	"needle/internal/workloads"
+)
+
+func (s *Server) routes() {
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
+	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("/healthz", s.handleHealthz)
+	s.mux.HandleFunc("/metrics", s.handleMetrics)
+}
+
+// analyzeRequest is the POST /v1/analyze payload.
+type analyzeRequest struct {
+	// Workload names the kernel to analyze (see GET /v1/workloads).
+	Workload string `json:"workload"`
+	// N overrides the problem size; 0 keeps the workload default. It is a
+	// convenience alias for config.N and wins when both are set.
+	N int `json:"n"`
+	// Config is a full pipeline configuration; absent fields are filled
+	// from the paper's defaults exactly as the CLI fills them.
+	Config *core.Config `json:"config"`
+	// TimeoutMs tightens (never extends) the server's per-request deadline.
+	TimeoutMs int64 `json:"timeoutMs"`
+}
+
+// sweepRequest is the POST /v1/sweep payload; an empty body is a default
+// sweep.
+type sweepRequest struct {
+	N         int          `json:"n"`
+	Config    *core.Config `json:"config"`
+	TimeoutMs int64        `json:"timeoutMs"`
+}
+
+// decodeBody strictly decodes a JSON request body into dst. An empty body
+// is accepted when allowEmpty is set (dst is left zero).
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+	if err != nil {
+		return fmt.Errorf("reading request body: %w", err)
+	}
+	if len(body) == 0 {
+		if allowEmpty {
+			return nil
+		}
+		return errors.New("empty request body")
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		return fmt.Errorf("decoding request: %w", err)
+	}
+	if dec.More() {
+		return errors.New("trailing data after request object")
+	}
+	return nil
+}
+
+// resolveConfig builds the effective pipeline config from a request, the
+// same way cmd/needle does (explicit config, then the n override).
+func resolveConfig(cfg *core.Config, n int) core.Config {
+	out := core.DefaultConfig()
+	if cfg != nil {
+		out = *cfg
+	}
+	if n != 0 {
+		out.N = n
+	}
+	return out
+}
+
+// requestContext applies the effective deadline: the server cap, tightened
+// by the request's own timeoutMs.
+func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Context, context.CancelFunc) {
+	d := s.cfg.Timeout
+	if timeoutMs > 0 {
+		t := time.Duration(timeoutMs) * time.Millisecond
+		if d == 0 || t < d {
+			d = t
+		}
+	}
+	if d <= 0 {
+		return r.Context(), func() {}
+	}
+	return context.WithTimeout(r.Context(), d)
+}
+
+// writeError emits a JSON error object with the status code err maps to.
+func (s *Server) writeError(w http.ResponseWriter, err error) {
+	status := http.StatusInternalServerError
+	switch {
+	case errors.Is(err, errQueueFull):
+		status = http.StatusTooManyRequests
+		w.Header().Set("Retry-After", "1")
+	case errors.Is(err, errDraining):
+		status = http.StatusServiceUnavailable
+		w.Header().Set("Retry-After", "5")
+	case isCancellation(err):
+		// 499 (nginx convention): the request's deadline or client
+		// connection ended the run before it produced a response.
+		status = statusClientClosedRequest
+		obsCancelled.Add(1)
+	}
+	writeJSONError(w, status, err.Error())
+}
+
+func writeJSONError(w http.ResponseWriter, status int, msg string) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // response write
+}
+
+// handleAnalyze serves POST /v1/analyze: one workload, one config, the
+// exact bytes `needle -json -workload <name>` would print. With ?trace=1
+// the response is instead a request-scoped Chrome trace of the run.
+func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req analyzeRequest
+	if err := decodeBody(w, r, &req, false); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if req.Workload == "" {
+		writeJSONError(w, http.StatusBadRequest, "missing workload name")
+		return
+	}
+	wl := workloads.ByName(req.Workload)
+	if wl == nil {
+		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q (see /v1/workloads)", req.Workload))
+		return
+	}
+	cfg := resolveConfig(req.Config, req.N)
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	if wantTrace(r) {
+		s.handleAnalyzeTrace(w, ctx, wl, cfg)
+		return
+	}
+
+	// Identical concurrent requests collapse onto one pipeline run: the key
+	// is the pipeline's own cumulative fingerprint, so two requests share a
+	// flight exactly when their runs would be byte-identical.
+	key := pipeline.Fingerprint(wl, cfg)
+	body, err, _ := s.flights.do(ctx, key,
+		func() { s.collapsed.Add(1); obsCollapsed.Add(1) },
+		func() ([]byte, error) { return s.analyzeBytes(ctx, nil, wl, cfg) })
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Needle-Schema-Version", fmt.Sprint(core.SummarySchemaVersion))
+	w.Write(body) //nolint:errcheck // response write
+}
+
+// handleAnalyzeTrace runs the analysis under a private observability
+// registry and responds with its Chrome trace-event timeline. Trace
+// requests bypass the singleflight (a collapsed request would download
+// another tenant's spans) but still occupy a pool slot.
+func (s *Server) handleAnalyzeTrace(w http.ResponseWriter, ctx context.Context, wl *workloads.Workload, cfg core.Config) {
+	reg := &obs.Registry{}
+	reg.Enable()
+	root := reg.StartOnTrack("request: analyze "+wl.Name, 0)
+	_, err := s.analyzeBytes(ctx, root, wl, cfg)
+	root.End()
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "needle-trace-"+wl.Name+".json"))
+	reg.WriteChromeTrace(w) //nolint:errcheck // response write
+}
+
+// wantTrace reports whether the request asked for a per-request Chrome
+// trace instead of the summary payload.
+func wantTrace(r *http.Request) bool {
+	switch r.URL.Query().Get("trace") {
+	case "1", "true", "yes":
+		return true
+	}
+	return false
+}
+
+// analyzeBytes queues one pipeline run and marshals its summary into the
+// CLI-identical payload (MarshalSummaries plus the trailing newline
+// `needle -json`'s Println emits).
+func (s *Server) analyzeBytes(ctx context.Context, parent *obs.Span, wl *workloads.Workload, cfg core.Config) ([]byte, error) {
+	var (
+		body []byte
+		rerr error
+		ran  bool
+	)
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.run = func() {
+		ran = true
+		a, err := s.analyze(ctx, parent, wl, cfg)
+		if err != nil {
+			rerr = err
+			return
+		}
+		out, err := core.MarshalSummaries([]*core.Analysis{a})
+		if err != nil {
+			rerr = err
+			return
+		}
+		body = append(out, '\n')
+	}
+	if err := s.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		if !ran {
+			// The worker skipped the job because the context had already
+			// ended while it sat in the queue.
+			return nil, ctx.Err()
+		}
+		if rerr == nil {
+			obsAnalyzeOK.Add(1)
+		}
+		return body, rerr
+	case <-ctx.Done():
+		// The job keeps its queue slot; the worker will skip it (or the
+		// pipeline will stop between stages) now that the context is done.
+		return nil, ctx.Err()
+	}
+}
+
+// handleSweep serves POST /v1/sweep: the full whole-program sweep over
+// every registered workload, streamed as NDJSON — one compact summary
+// object per workload in completion order, flushed as each analysis
+// finishes. A failed workload contributes an {"workload", "error"} line
+// instead; a sweep-level failure terminates the stream with an {"error"}
+// line.
+func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req sweepRequest
+	if err := decodeBody(w, r, &req, true); err != nil {
+		writeJSONError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	cfg := resolveConfig(req.Config, req.N)
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+
+	// The sweep occupies a single pool slot and parallelizes internally
+	// with the server's worker count, so the queue bounds concurrent
+	// sweeps exactly like single analyses.
+	var (
+		wmu   sync.Mutex
+		wrote bool
+		werr  error
+		ran   bool
+	)
+	flusher, _ := w.(http.Flusher)
+	writeLine := func(v any) {
+		line, err := json.Marshal(v)
+		if err != nil {
+			return
+		}
+		wmu.Lock()
+		defer wmu.Unlock()
+		if !wrote {
+			w.Header().Set("Content-Type", "application/x-ndjson")
+			w.Header().Set("X-Needle-Schema-Version", fmt.Sprint(core.SummarySchemaVersion))
+			wrote = true
+		}
+		w.Write(append(line, '\n')) //nolint:errcheck // streaming response
+		if flusher != nil {
+			flusher.Flush()
+		}
+	}
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.run = func() {
+		ran = true
+		obsSweeps.Add(1)
+		werr = s.sweep(ctx, cfg, func(p core.Progress) {
+			if p.Err != nil {
+				writeLine(map[string]string{"workload": p.Workload.Name, "error": p.Err.Error()})
+				return
+			}
+			writeLine(core.Summarize(p.Analysis))
+		})
+	}
+	if err := s.submit(j); err != nil {
+		s.writeError(w, err)
+		return
+	}
+	// Unlike analyze, the handler must outlive the job unconditionally:
+	// the worker goroutine writes to the ResponseWriter, which dies when
+	// this handler returns. Cancellation still ends the job promptly — the
+	// sweep stops between stages and workloads once ctx is done.
+	<-j.done
+	if !ran {
+		s.writeError(w, ctx.Err())
+		return
+	}
+	if werr != nil {
+		wmu.Lock()
+		headersSent := wrote
+		wmu.Unlock()
+		if !headersSent {
+			s.writeError(w, werr)
+			return
+		}
+		writeLine(map[string]string{"error": werr.Error()})
+		if isCancellation(werr) {
+			obsCancelled.Add(1)
+		}
+	}
+}
+
+// handleWorkloads serves GET /v1/workloads: the registered workload set.
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		writeJSONError(w, http.StatusMethodNotAllowed, "GET required")
+		return
+	}
+	type workloadInfo struct {
+		Name     string `json:"name"`
+		Suite    string `json:"suite"`
+		Notes    string `json:"notes"`
+		FP       bool   `json:"fp"`
+		DefaultN int    `json:"defaultN"`
+	}
+	ws := workloads.All()
+	out := make([]workloadInfo, len(ws))
+	for i, wl := range ws {
+		out[i] = workloadInfo{Name: wl.Name, Suite: wl.Suite, Notes: wl.Notes, FP: wl.FP, DefaultN: wl.DefaultN}
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(out) //nolint:errcheck // response write
+}
+
+// handleHealthz serves GET /healthz: 200 while serving, 503 once draining
+// so load balancers eject the instance ahead of shutdown.
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	if s.Draining() {
+		w.WriteHeader(http.StatusServiceUnavailable)
+		io.WriteString(w, "draining\n") //nolint:errcheck // response write
+		return
+	}
+	io.WriteString(w, "ok\n") //nolint:errcheck // response write
+}
+
+// handleMetrics serves GET /metrics: the obs registry's text dump (every
+// counter plus per-span-name aggregates) followed by the shared store's
+// per-stage cache behaviour.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	obs.WriteMetrics(w) //nolint:errcheck // response write
+	stats := s.store.Stats()
+	for _, name := range pipeline.StageNames() {
+		cs, ok := stats[name]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "cache %s hits=%d misses=%d disk_hits=%d evictions=%d\n",
+			name, cs.Hits, cs.Misses, cs.DiskHits, cs.Evictions)
+	}
+}

@@ -1,0 +1,237 @@
+// Package serve is needled's HTTP serving layer: a long-running analysis
+// service over a shared warm pipeline.Store, fronted by the consolidated
+// core.Analyzer API. It turns the one-shot CLI flow into a multi-tenant
+// system — many workloads, many configs, repeated queries over shared
+// cached artifacts — with the serving concerns a daemon needs:
+//
+//   - a bounded worker pool with a request queue (429 on overflow),
+//   - per-request deadlines propagated as context into the pipeline,
+//   - singleflight collapsing of identical (workload, config-fingerprint)
+//     requests onto one pipeline run,
+//   - request-scoped observability spans with an optional per-request
+//     Chrome-trace download,
+//   - graceful drain (in-flight and queued requests finish; new ones get
+//     503) for SIGTERM handling.
+//
+// Endpoints, payloads, and deployment flags are documented in
+// docs/SERVICE.md. The /v1/analyze response is byte-identical to
+// `needle -json -workload <name>` for the same workload and config — the
+// differential tests pin that contract.
+package serve
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"needle/internal/core"
+	"needle/internal/obs"
+	"needle/internal/pipeline"
+	"needle/internal/workloads"
+)
+
+// Observability counters (no-ops until obs.Enable; needled always enables
+// the Default registry so /metrics reflects them).
+var (
+	obsRequests      = obs.GetCounter("serve.requests")
+	obsAnalyzeOK     = obs.GetCounter("serve.analyze.ok")
+	obsSweeps        = obs.GetCounter("serve.sweeps")
+	obsCollapsed     = obs.GetCounter("serve.singleflight.collapsed")
+	obsRejectedQueue = obs.GetCounter("serve.rejected.queue")
+	obsRejectedDrain = obs.GetCounter("serve.rejected.drain")
+	obsCancelled     = obs.GetCounter("serve.cancelled")
+)
+
+// statusClientClosedRequest is the nginx-convention status for a request
+// the client abandoned (disconnect or deadline) before a response existed.
+const statusClientClosedRequest = 499
+
+var (
+	// errQueueFull rejects a submission when every worker is busy and the
+	// queue is at depth; the client should back off and retry (429).
+	errQueueFull = errors.New("serve: analysis queue full")
+	// errDraining rejects new work while the server drains toward shutdown
+	// (503).
+	errDraining = errors.New("serve: server is draining")
+)
+
+// Config parameterizes a Server.
+type Config struct {
+	// Jobs is the analysis worker-pool size: the number of pipeline runs
+	// (or sweeps) in flight at once. <= 0 selects GOMAXPROCS.
+	Jobs int
+	// QueueDepth bounds how many accepted requests may wait for a worker
+	// beyond those executing; a full queue rejects with 429. <= 0 selects
+	// 64.
+	QueueDepth int
+	// Timeout caps every request's deadline; a request's own timeoutMs may
+	// tighten but never extend it. Zero means no server-imposed deadline.
+	Timeout time.Duration
+	// Store is the shared warm artifact store every request runs against
+	// (a pipeline.DiskStore to persist across restarts). Nil selects a
+	// process-lifetime in-memory pipeline.Cache.
+	Store pipeline.Store
+}
+
+// Server is the HTTP handler plus its worker pool. Create with New, serve
+// with net/http, and on shutdown call Drain (stop accepting), then let
+// http.Server.Shutdown settle in-flight handlers, then Close (stop the
+// workers).
+type Server struct {
+	cfg   Config
+	store pipeline.Store
+	mux   *http.ServeMux
+
+	queue chan *job
+	wg    sync.WaitGroup
+
+	qmu      sync.RWMutex // guards queue close vs. submit
+	closed   bool
+	draining bool
+
+	flights   flightGroup
+	collapsed counter
+
+	// analyze and sweep are the pipeline entry points; tests substitute
+	// stubs to pin queue/deadline/drain behaviour without running real
+	// analyses.
+	analyze func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error)
+	sweep   func(ctx context.Context, cfg core.Config, progress core.ProgressFunc) error
+}
+
+// New builds a Server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Jobs <= 0 {
+		cfg.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	s := &Server{
+		cfg:   cfg,
+		store: cfg.Store,
+		queue: make(chan *job, cfg.QueueDepth),
+	}
+	if s.store == nil {
+		s.store = pipeline.NewCache()
+	}
+	s.flights.m = make(map[string]*flight)
+	s.analyze = func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error) {
+		return core.New(core.WithStore(s.store), core.WithObsSpan(parent)).Run(ctx, w, cfg)
+	}
+	s.sweep = func(ctx context.Context, cfg core.Config, progress core.ProgressFunc) error {
+		_, err := core.New(core.WithStore(s.store), core.WithJobs(s.cfg.Jobs),
+			core.WithProgress(progress)).RunAll(ctx, cfg)
+		return err
+	}
+	s.routes()
+	for i := 0; i < cfg.Jobs; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Store returns the shared artifact store requests run against.
+func (s *Server) Store() pipeline.Store { return s.store }
+
+// Collapsed returns how many requests were collapsed onto another
+// request's pipeline run by the singleflight layer.
+func (s *Server) Collapsed() int64 { return s.collapsed.Load() }
+
+// job is one unit of queued work. run executes on a worker unless ctx is
+// already done by then; done closes when the job is finished or skipped.
+type job struct {
+	ctx  context.Context
+	run  func()
+	done chan struct{}
+}
+
+// worker drains the queue until Close.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		// A request that gave up while queued (client gone, deadline past)
+		// is skipped, so abandoned work cannot clog the pool.
+		if j.ctx.Err() == nil {
+			j.run()
+		}
+		close(j.done)
+	}
+}
+
+// submit enqueues a job, rejecting with errDraining during drain and
+// errQueueFull when the queue is at depth.
+func (s *Server) submit(j *job) error {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	if s.draining || s.closed {
+		obsRejectedDrain.Add(1)
+		return errDraining
+	}
+	select {
+	case s.queue <- j:
+		return nil
+	default:
+		obsRejectedQueue.Add(1)
+		return errQueueFull
+	}
+}
+
+// Drain stops accepting new analysis and sweep requests (they get 503 with
+// a Retry-After); already-accepted work, queued included, still completes.
+// Health checks start failing so load balancers eject the instance.
+func (s *Server) Drain() {
+	s.qmu.Lock()
+	s.draining = true
+	s.qmu.Unlock()
+}
+
+// Draining reports whether Drain has been called.
+func (s *Server) Draining() bool {
+	s.qmu.RLock()
+	defer s.qmu.RUnlock()
+	return s.draining
+}
+
+// Close drains, stops the worker pool, and waits for it to finish the
+// remaining queue. Call after the HTTP listener has shut down.
+func (s *Server) Close() {
+	s.qmu.Lock()
+	s.draining = true
+	if !s.closed {
+		s.closed = true
+		close(s.queue)
+	}
+	s.qmu.Unlock()
+	s.wg.Wait()
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	obsRequests.Add(1)
+	s.mux.ServeHTTP(w, r)
+}
+
+// counter is a tiny always-on atomic counter (the obs counters are no-ops
+// unless the registry is enabled; the singleflight tests need an
+// unconditional count).
+type counter struct {
+	mu sync.Mutex
+	v  int64
+}
+
+func (c *counter) Add(n int64) {
+	c.mu.Lock()
+	c.v += n
+	c.mu.Unlock()
+}
+
+func (c *counter) Load() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.v
+}

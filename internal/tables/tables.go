@@ -38,12 +38,12 @@ func RunJobs(cfg core.Config, jobs int) (*Suite, error) {
 }
 
 // RunCtx analyzes every workload under ctx: cancelling it stops the sweep
-// between workloads and returns ctx.Err(). Options passes through to
-// core.AnalyzeAllCtx — a bounded worker pool via Jobs, and stage-artifact
-// sharing across configs via Cache. Row order and values are independent of
-// both.
+// between workloads and returns ctx.Err(). Options selects the
+// core.Analyzer the sweep runs on — a bounded worker pool via Jobs, and
+// stage-artifact sharing across configs via Store/Cache. Row order and
+// values are independent of both.
 func RunCtx(ctx context.Context, cfg core.Config, opts core.Options) (*Suite, error) {
-	as, err := core.AnalyzeAllCtx(ctx, cfg, opts)
+	as, err := opts.Analyzer().RunAll(ctx, cfg)
 	if err != nil {
 		return nil, err
 	}

@@ -24,7 +24,16 @@ echo "vet    ok"
 go build ./...
 echo "build  ok"
 
-go test -race ./...
+# The service stack first: the serving layer and the pipeline/core API it
+# fronts are the most concurrency-sensitive packages (worker pools,
+# singleflight, cancellation), so their race-detector run fails fast and
+# in isolation before the long full-suite run.
+go test -race ./internal/serve ./internal/pipeline ./internal/core
+echo "serve  ok (serve/pipeline/core under -race)"
+
+# Everything else (the three packages above are excluded so they don't run
+# twice).
+go test -race $(go list ./... | grep -vE '^needle/internal/(serve|pipeline|core)$')
 echo "tests  ok"
 
 # Opt-in performance gate: CHECK_BENCH=1 ./scripts/check.sh also runs the
@@ -48,4 +57,39 @@ if [ "${CHECK_CACHE:-0}" = "1" ]; then
         exit 1
     fi
     echo "cache  ok (warm-start sweep byte-identical)"
+fi
+
+# Opt-in service smoke test: CHECK_SERVE=1 ./scripts/check.sh builds
+# needled, starts it against a temporary cache dir, waits for /healthz,
+# and fails unless POST /v1/analyze responds with exactly the bytes
+# `needle -json -workload` prints for the same workload and config.
+if [ "${CHECK_SERVE:-0}" = "1" ]; then
+    servedir=$(mktemp -d)
+    # This trap replaces the CHECK_CACHE one, so it must clean up both.
+    trap 'rm -rf "$servedir" "${cachedir:-}"; [ -n "${needled_pid:-}" ] && kill "$needled_pid" 2>/dev/null' EXIT
+    go build -o "$servedir/needled" ./cmd/needled
+    addr="127.0.0.1:8957"
+    "$servedir/needled" -addr "$addr" -cache-dir "$servedir/store" 2> "$servedir/needled.log" &
+    needled_pid=$!
+    for _ in $(seq 1 50); do
+        if curl -fsS "http://$addr/healthz" > /dev/null 2>&1; then
+            break
+        fi
+        sleep 0.2
+    done
+    curl -fsS "http://$addr/healthz" > /dev/null || {
+        echo "check: FAIL — needled did not become healthy" >&2
+        cat "$servedir/needled.log" >&2
+        exit 1
+    }
+    curl -fsS -d '{"workload":"456.hmmer","n":2000}' "http://$addr/v1/analyze" > "$servedir/served.json"
+    go run ./cmd/needle -json -workload 456.hmmer -n 2000 > "$servedir/cli.json"
+    if ! cmp -s "$servedir/served.json" "$servedir/cli.json"; then
+        echo "check: FAIL — /v1/analyze response differs from needle -json" >&2
+        exit 1
+    fi
+    kill "$needled_pid"
+    wait "$needled_pid" 2>/dev/null || true
+    needled_pid=""
+    echo "serve  ok (needled analyze byte-identical to CLI)"
 fi
