@@ -9,9 +9,16 @@
 //	needle -figure 9 [-n 8000]        regenerate a figure (2, 3, 4, 5, 6, 9, 10)
 //	needle -all                       regenerate everything
 //	needle -workload 470.lbm          detailed single-workload report
+//	needle -nir prog.nir              analyze a user .nir program from disk
+//	  [-entry f] [-mem 8192] [-args 5,f:2.5]   entry point, memory, arguments
 //	needle -trace out.json            full sweep + Chrome trace timeline
 //	needle -all -metrics              any mode + counter dump on stderr
 //	needle -all -cache-dir ~/.needle  persist stage artifacts; warm-starts reruns
+//
+// -nir analyzes an arbitrary program through the exact pipeline the
+// built-in workloads use; combine with -json, -dot, or the default report.
+// `needle -nir file -json` is byte-identical to POSTing the same source to
+// a needled daemon's /v1/analyze.
 package main
 
 import (
@@ -29,6 +36,7 @@ import (
 	"needle/internal/ir"
 	"needle/internal/obs"
 	"needle/internal/pipeline"
+	"needle/internal/program"
 	"needle/internal/tables"
 	"needle/internal/workloads"
 )
@@ -40,10 +48,14 @@ func main() {
 		figure     = flag.String("figure", "", "regenerate a figure: 2, 3, 4, 5, 6, 9, 10")
 		all        = flag.Bool("all", false, "regenerate every table and figure")
 		workload   = flag.String("workload", "", "detailed report for one workload")
+		nirFile    = flag.String("nir", "", "analyze a user program: path to a .nir file")
+		entry      = flag.String("entry", "", "entry function of the -nir program (default: first)")
+		memWords   = flag.Int("mem", 0, "memory words for the -nir program (0 = 4096)")
+		argList    = flag.String("args", "", "comma-separated -nir entry arguments: int64, or f:-prefixed float64")
 		n          = flag.Int("n", 0, "problem size override (0 = workload default)")
-		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (with -workload or alone for all)")
-		dotOut     = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload)")
-		nirOut     = flag.Bool("nir", false, "emit the workload's kernel as textual .nir (with -workload)")
+		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (with -workload/-nir or alone for all)")
+		dotOut     = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload/-nir)")
+		emitNIR    = flag.Bool("emit-nir", false, "emit the workload's kernel as textual .nir (with -workload)")
 		jobs       = flag.Int("j", 0, "parallel analysis workers (0 = GOMAXPROCS, 1 = serial)")
 		benchOut   = flag.Bool("bench-json", false, "run the full suite and emit wall-clock timings as JSON")
 		traceOut   = flag.String("trace", "", "write a Chrome trace-event JSON timeline of the run to this file (alone: runs the full sweep)")
@@ -71,8 +83,13 @@ func main() {
 		}
 		store = ds
 	}
-	dispatch(ctx, *list, *table, *figure, *all, *workload, *n, *jsonOut, *dotOut,
-		*nirOut, *jobs, *benchOut, observing, store)
+	dispatch(ctx, options{
+		list: *list, table: *table, figure: *figure, all: *all,
+		workload: *workload, nirFile: *nirFile, entry: *entry,
+		memWords: *memWords, argList: *argList, n: *n,
+		jsonOut: *jsonOut, dotOut: *dotOut, emitNIR: *emitNIR,
+		jobs: *jobs, benchOut: *benchOut, observing: observing,
+	}, store)
 	if *traceOut != "" {
 		f, err := os.Create(*traceOut)
 		if err != nil {
@@ -111,11 +128,37 @@ func writeCacheStats(w *os.File, store pipeline.Store) {
 	}
 }
 
+// options carries the parsed command line into dispatch.
+type options struct {
+	list                    bool
+	table, figure           string
+	all                     bool
+	workload                string
+	nirFile, entry, argList string
+	memWords, n             int
+	jsonOut, dotOut         bool
+	emitNIR                 bool
+	jobs                    int
+	benchOut, observing     bool
+}
+
+// splitArgs parses the -args flag: a comma-separated list of argument
+// literals (whitespace around entries is ignored; empty means no args).
+func splitArgs(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
 // dispatch runs the selected mode to completion; the observability
 // exporters run after it returns.
-func dispatch(ctx context.Context, list bool, table, figure string, all bool, workload string, n int,
-	jsonOut, dotOut, nirOut bool, jobs int, benchOut, observing bool, store pipeline.Store) {
-	if list {
+func dispatch(ctx context.Context, o options, store pipeline.Store) {
+	if o.list {
 		for _, w := range workloads.All() {
 			fmt.Printf("%-20s %-8s %s\n", w.Name, w.Suite, w.Notes)
 		}
@@ -123,42 +166,41 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 	}
 
 	cfg := core.DefaultConfig()
-	cfg.N = n
-	az := core.New(core.WithStore(store), core.WithJobs(jobs))
+	cfg.N = o.n
+	az := core.New(core.WithStore(store), core.WithJobs(o.jobs))
 
 	switch {
-	case benchOut:
-		benchJSON(ctx, cfg, jobs, store)
-	case workload != "":
-		w := workloads.ByName(workload)
-		if w == nil {
-			fatal("unknown workload %q (try -list)", workload)
+	case o.benchOut:
+		benchJSON(ctx, cfg, o.jobs, store)
+	case o.nirFile != "":
+		p, err := program.LoadFile(o.nirFile, program.LoadOptions{
+			Entry:    o.entry,
+			MemWords: o.memWords,
+			Args:     splitArgs(o.argList),
+		})
+		if err != nil {
+			fatal("load %s: %v", o.nirFile, err)
 		}
-		if nirOut {
-			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
-			return
-		}
-		a, err := az.Run(ctx, w, cfg)
+		a, err := az.Run(ctx, p, cfg)
 		if err != nil {
 			fatal("analyze: %v", err)
 		}
-		if jsonOut {
-			out, err := core.MarshalSummaries([]*core.Analysis{a})
-			if err != nil {
-				fatal("json: %v", err)
-			}
-			fmt.Println(string(out))
+		emit(a, o, p.Name)
+	case o.workload != "":
+		w := workloads.ByName(o.workload)
+		if w == nil {
+			fatal("unknown workload %q (try -list)", o.workload)
+		}
+		if o.emitNIR {
+			fmt.Print(ir.PrintModule(ir.ModuleOf(w.Function())))
 			return
 		}
-		if dotOut {
-			if a.HotBraidFrame == nil {
-				fatal("no frame to render for %s", workload)
-			}
-			fmt.Print(a.HotBraidFrame.Dot())
-			return
+		a, err := az.RunWorkload(ctx, w, cfg)
+		if err != nil {
+			fatal("analyze: %v", err)
 		}
-		report(a)
-	case jsonOut:
+		emit(a, o, o.workload)
+	case o.jsonOut:
 		as, err := az.RunAll(ctx, cfg)
 		if err != nil {
 			fatal("analysis sweep: %v", err)
@@ -168,18 +210,18 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 			fatal("json: %v", err)
 		}
 		fmt.Println(string(out))
-	case figure == "3":
+	case o.figure == "3":
 		fmt.Println(tables.Figure3())
-	case table != "" || figure != "" || all:
-		s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: jobs, Store: store})
+	case o.table != "" || o.figure != "" || o.all:
+		s, err := tables.RunCtx(ctx, cfg, core.Options{Jobs: o.jobs, Store: store})
 		if err != nil {
 			fatal("analysis sweep: %v", err)
 		}
 		switch {
-		case all:
+		case o.all:
 			fmt.Println(s.All())
-		case table != "":
-			switch strings.ToUpper(table) {
+		case o.table != "":
+			switch strings.ToUpper(o.table) {
 			case "I":
 				fmt.Println(s.TableI())
 			case "II":
@@ -193,10 +235,10 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 			case "HLS":
 				fmt.Println(s.TableHLS())
 			default:
-				fatal("unknown table %q", table)
+				fatal("unknown table %q", o.table)
 			}
 		default:
-			switch figure {
+			switch o.figure {
 			case "2":
 				fmt.Println(s.Figure2())
 			case "4":
@@ -210,10 +252,10 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 			case "10":
 				fmt.Println(s.Figure10())
 			default:
-				fatal("unknown figure %q", figure)
+				fatal("unknown figure %q", o.figure)
 			}
 		}
-	case observing:
+	case o.observing:
 		// Observability-only run (`needle -trace out.json`): sweep every
 		// workload so the exported timeline covers the whole pipeline, but
 		// emit no table output.
@@ -225,6 +267,26 @@ func dispatch(ctx context.Context, list bool, table, figure string, all bool, wo
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// emit renders one analysis the way the single-run flags ask for: -json,
+// -dot, or the default human-readable report.
+func emit(a *core.Analysis, o options, name string) {
+	switch {
+	case o.jsonOut:
+		out, err := core.MarshalSummaries([]*core.Analysis{a})
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Println(string(out))
+	case o.dotOut:
+		if a.HotBraidFrame == nil {
+			fatal("no frame to render for %s", name)
+		}
+		fmt.Print(a.HotBraidFrame.Dot())
+	default:
+		report(a)
 	}
 }
 
@@ -273,8 +335,11 @@ func benchJSON(ctx context.Context, cfg core.Config, jobs int, store pipeline.St
 }
 
 func report(a *core.Analysis) {
-	w := a.Workload
-	fmt.Printf("workload %s (%s): %s\n\n", w.Name, w.Suite, w.Notes)
+	if w := a.Workload; w != nil {
+		fmt.Printf("workload %s (%s): %s\n\n", w.Name, w.Suite, w.Notes)
+	} else {
+		fmt.Printf("program %s (%s)\n\n", a.Program.Name, a.Program.Suite)
+	}
 	fmt.Printf("profile: %d executed paths, top-1 coverage %.0f%%, top-5 %.0f%%\n",
 		a.Profile.NumExecutedPaths(), a.Profile.CoverageTopK(1)*100, a.Profile.CoverageTopK(5)*100)
 	st := a.CFStats

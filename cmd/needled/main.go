@@ -9,10 +9,12 @@
 //	needled -addr :9000 -jobs 8 -queue-depth 128
 //	needled -cache-dir ~/.needle               persist artifacts across restarts
 //	needled -timeout 2m                        cap per-request deadlines
+//	needled -max-source-kb 1024 -max-instrs 100000   raise inline-source caps
 //
 // Endpoints (see docs/SERVICE.md for payloads):
 //
-//	POST /v1/analyze     one workload+config; bytes match `needle -json`
+//	POST /v1/analyze     one workload+config, or inline .nir source;
+//	                     bytes match `needle -json` / `needle -nir -json`
 //	POST /v1/sweep       all workloads, streamed as NDJSON
 //	GET  /v1/workloads   the registered workload set
 //	GET  /healthz        200 serving, 503 draining
@@ -48,6 +50,14 @@ func main() {
 		cacheDir   = flag.String("cache-dir", "", "persist stage artifacts to this directory; restarts warm-start from it")
 		cacheMaxMB = flag.Int("cache-max-mb", 0, "evict least-recently-used artifacts when -cache-dir exceeds this size (0 = unbounded)")
 		drainGrace = flag.Duration("drain-grace", 30*time.Second, "how long shutdown waits for in-flight requests")
+
+		// Inline-source ingestion caps (0 = the serve-layer default shown).
+		def         = serve.DefaultLimits()
+		maxBodyKB   = flag.Int("max-body-kb", 0, fmt.Sprintf("request-body cap in KiB (0 = %d)", 1<<10))
+		maxSourceKB = flag.Int("max-source-kb", 0, fmt.Sprintf("inline .nir source cap in KiB (0 = %d)", def.MaxSourceBytes>>10))
+		maxInstrs   = flag.Int("max-instrs", 0, fmt.Sprintf("static instruction cap for inline source (0 = %d)", def.MaxInstrs))
+		maxMemWords = flag.Int("max-mem-words", 0, fmt.Sprintf("memory-image cap in words for inline source (0 = %d)", def.MaxMemWords))
+		maxSteps    = flag.Int64("max-steps", 0, fmt.Sprintf("interpreter step cap for inline source (0 = %d)", def.MaxSteps))
 	)
 	flag.Parse()
 
@@ -63,11 +73,30 @@ func main() {
 		}
 		store = ds
 	}
+	limits := def
+	if *maxSourceKB > 0 {
+		limits.MaxSourceBytes = *maxSourceKB << 10
+	}
+	if *maxInstrs > 0 {
+		limits.MaxInstrs = *maxInstrs
+	}
+	if *maxMemWords > 0 {
+		limits.MaxMemWords = *maxMemWords
+	}
+	if *maxSteps > 0 {
+		limits.MaxSteps = *maxSteps
+	}
+	var bodyBytes int64
+	if *maxBodyKB > 0 {
+		bodyBytes = int64(*maxBodyKB) << 10
+	}
 	srv := serve.New(serve.Config{
-		Jobs:       *jobs,
-		QueueDepth: *queueDepth,
-		Timeout:    *timeout,
-		Store:      store,
+		Jobs:         *jobs,
+		QueueDepth:   *queueDepth,
+		Timeout:      *timeout,
+		Store:        store,
+		MaxBodyBytes: bodyBytes,
+		Limits:       limits,
 	})
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 

@@ -18,7 +18,6 @@ import (
 	"flag"
 	"fmt"
 	"os"
-	"strconv"
 	"strings"
 
 	"needle/internal/analysis"
@@ -27,6 +26,7 @@ import (
 	"needle/internal/ir"
 	"needle/internal/pm"
 	"needle/internal/profile"
+	"needle/internal/program"
 	"needle/internal/region"
 )
 
@@ -42,11 +42,13 @@ func main() {
 		fatal("%v", err)
 	}
 
+	// The same loader the needle CLI and the needled service use; the zero
+	// Limits is unlimited (local files are trusted input).
 	src, err := os.ReadFile(file)
 	if err != nil {
 		fatal("%v", err)
 	}
-	m, err := ir.Parse(string(src))
+	m, err := program.ParseModule(string(src), program.Limits{})
 	if err != nil {
 		fatal("%v", err)
 	}
@@ -123,24 +125,14 @@ func pick(m *ir.Module, name string) *ir.Function {
 }
 
 func parseArgs(raw []string, f *ir.Function) []uint64 {
+	// The interactive tool keeps its historical strictness: every parameter
+	// must be supplied (program.ArgValues zero-fills missing ones).
 	if len(raw) != f.NumParams() {
 		fatal("%s wants %d arguments, got %d", f.Name, f.NumParams(), len(raw))
 	}
-	out := make([]uint64, len(raw))
-	for i, s := range raw {
-		if fs, ok := strings.CutPrefix(s, "f:"); ok {
-			v, err := strconv.ParseFloat(fs, 64)
-			if err != nil {
-				fatal("bad float arg %q: %v", s, err)
-			}
-			out[i] = interp.FBits(v)
-			continue
-		}
-		v, err := strconv.ParseInt(s, 0, 64)
-		if err != nil {
-			fatal("bad int arg %q: %v", s, err)
-		}
-		out[i] = interp.IBits(v)
+	out, err := program.ArgValues(f, raw)
+	if err != nil {
+		fatal("%v", err)
 	}
 	return out
 }

@@ -16,6 +16,7 @@ import (
 
 	"needle/internal/obs"
 	"needle/internal/pipeline"
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
 
@@ -101,25 +102,47 @@ type Progress struct {
 // ProgressFunc consumes RunAll progress events.
 type ProgressFunc func(Progress)
 
-// Run executes the full pipeline on one workload: aggressive inlining of
+// Run executes the full pipeline on one program: aggressive inlining of
 // call-bearing kernels (Section II-A), profiling, braid/path selection,
-// frame construction, and every registered target backend. Zero-valued
-// Config fields are filled from DefaultConfig field by field. Cancelling
-// ctx stops the run between pipeline stages and returns ctx.Err(); a
-// cancelled run never memoizes its interruption in the store.
-func (az *Analyzer) Run(ctx context.Context, w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return az.run(ctx, w, cfg, az.span)
+// frame construction, and every registered target backend. The program can
+// come from anywhere — the workload registry (see RunWorkload) or
+// program.Load over user source. Zero-valued Config fields are filled from
+// DefaultConfig field by field. Cancelling ctx stops the run between
+// pipeline stages and returns ctx.Err(); a cancelled run never memoizes
+// its interruption in the store.
+func (az *Analyzer) Run(ctx context.Context, p *program.Program, cfg Config) (*Analysis, error) {
+	return az.run(ctx, p, cfg, az.span)
+}
+
+// RunWorkload materializes a registered workload at the config's problem
+// size (cfg.N, 0 selecting the workload default) and Runs it. The returned
+// Analysis carries the registry entry in Workload.
+func (az *Analyzer) RunWorkload(ctx context.Context, w *workloads.Workload, cfg Config) (*Analysis, error) {
+	return az.runWorkload(ctx, w, cfg, az.span)
 }
 
 // run is Run parented under an explicit span (the sweep passes each
-// worker's span so per-workload timelines land on the worker's lane).
-func (az *Analyzer) run(ctx context.Context, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
+// worker's span so per-program timelines land on the worker's lane).
+func (az *Analyzer) run(ctx context.Context, p *program.Program, cfg Config, parent *obs.Span) (*Analysis, error) {
 	obsAnalyses.Add(1)
-	arts, err := pipeline.Run(w, cfg, pipeline.RunOptions{Parent: parent, Store: az.store, Ctx: ctx})
+	arts, err := pipeline.Run(p, cfg, pipeline.RunOptions{Parent: parent, Store: az.store, Ctx: ctx})
 	if err != nil {
 		return nil, err
 	}
 	return fromArtifacts(arts)
+}
+
+func (az *Analyzer) runWorkload(ctx context.Context, w *workloads.Workload, cfg Config, parent *obs.Span) (*Analysis, error) {
+	p, err := w.Program(cfg.N)
+	if err != nil {
+		return nil, err
+	}
+	a, err := az.run(ctx, p, cfg, parent)
+	if err != nil {
+		return nil, err
+	}
+	a.Workload = w
+	return a, nil
 }
 
 // RunAll runs the pipeline over every registered workload on the bounded
@@ -165,7 +188,7 @@ func (az *Analyzer) RunAll(ctx context.Context, cfg Config) ([]*Analysis, error)
 			if err := ctx.Err(); err != nil {
 				return nil, err
 			}
-			a, err := az.run(ctx, w, cfg, root)
+			a, err := az.runWorkload(ctx, w, cfg, root)
 			report(i, a, err)
 			if err != nil {
 				return nil, err
@@ -189,7 +212,7 @@ func (az *Analyzer) RunAll(ctx context.Context, cfg Config) ([]*Analysis, error)
 				if ctx.Err() != nil {
 					continue
 				}
-				out[i], errs[i] = az.run(ctx, ws[i], cfg, wsp)
+				out[i], errs[i] = az.runWorkload(ctx, ws[i], cfg, wsp)
 				report(i, out[i], errs[i])
 				if errs[i] == nil {
 					obsSweepUnits.Add(1)

@@ -70,7 +70,7 @@ func TestAnalyzerRequestScopedSpans(t *testing.T) {
 	reg.Enable()
 	root := reg.StartOnTrack("request", 0)
 	w := workloads.ByName("164.gzip")
-	if _, err := New(WithObsSpan(root)).Run(context.Background(), w, Config{N: 800}); err != nil {
+	if _, err := New(WithObsSpan(root)).RunWorkload(context.Background(), w, Config{N: 800}); err != nil {
 		t.Fatal(err)
 	}
 	root.End()
@@ -101,10 +101,10 @@ func TestAnalyzerRunCancellation(t *testing.T) {
 	w := workloads.ByName("456.hmmer")
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := az.Run(ctx, w, Config{N: 800}); !errors.Is(err, context.Canceled) {
+	if _, err := az.RunWorkload(ctx, w, Config{N: 800}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
-	a, err := az.Run(context.Background(), w, Config{N: 800})
+	a, err := az.RunWorkload(context.Background(), w, Config{N: 800})
 	if err != nil {
 		t.Fatalf("run after cancelled run: %v", err)
 	}

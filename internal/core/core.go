@@ -1,4 +1,4 @@
-// Package core ties the Needle pipeline together: profile a workload's hot
+// Package core ties the Needle pipeline together: profile a program's hot
 // function, enumerate and rank its Ball-Larus paths, characterize its
 // control flow, form braids and baseline regions, construct software
 // frames, and evaluate offload on the modeled system. It is the programmatic
@@ -8,11 +8,15 @@
 //
 // The entry point is the Analyzer (analyzer.go): core.New(opts...) with
 // functional options (WithStore, WithJobs, WithProgress, WithObsSpan) and
-// the Run/RunAll methods. The heavy lifting lives in internal/pipeline
-// (named stages over typed artifacts) and internal/target (pluggable
-// evaluation backends); the Analyzer flattens the staged artifacts into the
-// Analysis struct, byte-for-byte identical to the old monolith. The
-// historical package-level functions in this file — Analyze, AnalyzeWith,
+// the Run/RunWorkload/RunAll methods. Run takes a *program.Program — any
+// verified NIR program, whether a built-in workload instance or source a
+// user just loaded — making "analyze this workload" and "analyze this
+// file" the same operation; RunWorkload is the registry-backed adapter.
+// The heavy lifting lives in internal/pipeline (named stages over typed
+// artifacts) and internal/target (pluggable evaluation backends); the
+// Analyzer flattens the staged artifacts into the Analysis struct,
+// byte-for-byte identical to the old monolith. The historical
+// package-level functions in this file — Analyze, AnalyzeWith,
 // AnalyzeWithStore, AnalyzeAllCtx — remain as thin wrappers over a
 // one-shot Analyzer.
 package core
@@ -27,6 +31,7 @@ import (
 	"needle/internal/pipeline"
 	"needle/internal/pm"
 	"needle/internal/profile"
+	"needle/internal/program"
 	"needle/internal/region"
 	"needle/internal/sim"
 	"needle/internal/target"
@@ -46,8 +51,13 @@ type Config = pipeline.Config
 // DefaultConfig returns the paper's evaluation configuration.
 func DefaultConfig() Config { return pipeline.DefaultConfig() }
 
-// Analysis is the complete result of running the pipeline on one workload.
+// Analysis is the complete result of running the pipeline on one program.
 type Analysis struct {
+	// Program is the analyzed program — always set.
+	Program *program.Program
+	// Workload is the registry entry the program was materialized from, or
+	// nil when the analysis ran on a raw Program (needle -nir, the needled
+	// service's inline-source requests).
 	Workload *workloads.Workload
 	Config   Config
 
@@ -93,16 +103,17 @@ type Analysis struct {
 }
 
 // Analyze runs the full pipeline on a workload with a fresh one-shot
-// Analyzer. It is equivalent to New().Run(context.Background(), w, cfg).
+// Analyzer. It is equivalent to New().RunWorkload(context.Background(), w,
+// cfg).
 func Analyze(w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return New().Run(context.Background(), w, cfg)
+	return New().RunWorkload(context.Background(), w, cfg)
 }
 
 // AnalyzeWith runs the pipeline with stage-artifact reuse through an
 // in-memory cache: upstream artifacts (inlined function, captured profile,
-// braids, hot-braid frame) are shared with every other run whose workload
-// and upstream config fingerprints match, so a sweep over downstream knobs
-// — predictor history bits, CGRA parameters, selection bounds —
+// braids, hot-braid frame) are shared with every other run whose program
+// key and upstream config fingerprints match, so a sweep over downstream
+// knobs — predictor history bits, CGRA parameters, selection bounds —
 // re-profiles nothing. A nil cache computes everything fresh; results are
 // identical either way.
 func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Analysis, error) {
@@ -110,7 +121,7 @@ func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Ana
 	if cache != nil {
 		store = cache
 	}
-	return New(WithStore(store)).Run(context.Background(), w, cfg)
+	return New(WithStore(store)).RunWorkload(context.Background(), w, cfg)
 }
 
 // AnalyzeWithStore is AnalyzeWith over any artifact store — in particular a
@@ -118,7 +129,7 @@ func AnalyzeWith(cache *pipeline.Cache, w *workloads.Workload, cfg Config) (*Ana
 // process persisted. A nil store computes everything fresh; results are
 // byte-identical either way.
 func AnalyzeWithStore(store pipeline.Store, w *workloads.Workload, cfg Config) (*Analysis, error) {
-	return New(WithStore(store)).Run(context.Background(), w, cfg)
+	return New(WithStore(store)).RunWorkload(context.Background(), w, cfg)
 }
 
 // fromArtifacts flattens the staged artifacts into the Analysis struct the
@@ -126,7 +137,7 @@ func AnalyzeWithStore(store pipeline.Store, w *workloads.Workload, cfg Config) (
 // hls backends into their dedicated fields.
 func fromArtifacts(arts *pipeline.Artifacts) (*Analysis, error) {
 	a := &Analysis{
-		Workload:      arts.Workload,
+		Program:       arts.Program,
 		Config:        arts.Config,
 		AM:            arts.Inline.AM,
 		Artifacts:     arts,
@@ -139,7 +150,7 @@ func fromArtifacts(arts *pipeline.Artifacts) (*Analysis, error) {
 	}
 	rep, ok := arts.Report("sim").(*target.SimReport)
 	if !ok {
-		return nil, fmt.Errorf("core: %s: no sim target report (backend not registered?)", a.Workload.Name)
+		return nil, fmt.Errorf("core: %s: no sim target report (backend not registered?)", a.Program.Name)
 	}
 	a.PathOracle = rep.PathOracle
 	a.PathHistory = rep.PathHistory
@@ -202,7 +213,7 @@ func (a *Analysis) HottestBraid() *region.Braid {
 func (a *Analysis) PathFrame(rank int) (*frame.Frame, error) {
 	paths := a.Profile.Paths
 	if rank < 0 || rank >= len(paths) {
-		return nil, fmt.Errorf("core: %s has no path of rank %d", a.Workload.Name, rank)
+		return nil, fmt.Errorf("core: %s has no path of rank %d", a.Program.Name, rank)
 	}
 	r := region.FromPath(a.Profile.F, paths[rank])
 	return frame.Build(a.AM, r, a.Config.Sim.Frame)

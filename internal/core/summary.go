@@ -85,8 +85,8 @@ func Summarize(a *Analysis) Summary {
 	s := Summary{
 		SchemaVersion: SummarySchemaVersion,
 
-		Workload: a.Workload.Name,
-		Suite:    a.Workload.Suite,
+		Workload: a.Program.Name,
+		Suite:    a.Program.Suite,
 		N:        a.Config.N,
 
 		ExecutedPaths: a.Profile.NumExecutedPaths(),

@@ -38,6 +38,9 @@ func Parse(src string) (*Module, error) {
 		if err != nil {
 			return nil, err
 		}
+		if m.Func(f.Name) != nil {
+			return nil, fmt.Errorf("ir: duplicate function @%s", f.Name)
+		}
 		m.Add(f)
 		pendingCalls = append(pendingCalls, calls...)
 	}

@@ -2,6 +2,30 @@ package ir
 
 import "fmt"
 
+// VerifyError is the typed error Verify returns for every structural
+// rejection. Callers that ingest untrusted source (the needled service)
+// match it with errors.As to distinguish "your program is malformed" from
+// internal failures; Msg carries the full human-readable diagnostic.
+type VerifyError struct {
+	// Func is the name of the offending function.
+	Func string
+	// Block is the name of the offending block, or "" for function-level
+	// failures (no blocks, inconsistent returns).
+	Block string
+	// Msg is the complete formatted diagnostic.
+	Msg string
+}
+
+func (e *VerifyError) Error() string { return e.Msg }
+
+// verifyErr builds a VerifyError with a pre-formatted message. The format
+// strings embed the function/block names themselves (matching the
+// historical fmt.Errorf diagnostics byte for byte); Func/Block carry them
+// structurally for callers.
+func verifyErr(fn, blk, format string, args ...any) error {
+	return &VerifyError{Func: fn, Block: blk, Msg: fmt.Sprintf(format, args...)}
+}
+
 // Verify checks the structural well-formedness of a function:
 //
 //   - there is at least one block and the entry block has no predecessors
@@ -18,21 +42,61 @@ import "fmt"
 // Verify requires Finish to have run (it relies on Preds and blockByName).
 // Dominance (every use dominated by its def) is checked separately by
 // analysis.VerifySSA because it needs a dominator tree.
+//
+// Verify is safe on arbitrary (adversarial) function values: it never
+// panics on out-of-range registers, undersized RegType tables, or stale
+// predecessor lists — every such malformation comes back as a *VerifyError.
 func Verify(f *Function) error {
 	if len(f.Blocks) == 0 {
-		return fmt.Errorf("ir: function %s has no blocks", f.Name)
+		return verifyErr(f.Name, "", "ir: function %s has no blocks", f.Name)
 	}
 	if f.blockByName == nil {
-		return fmt.Errorf("ir: function %s not finished (call Finish)", f.Name)
+		return verifyErr(f.Name, "", "ir: function %s not finished (call Finish)", f.Name)
+	}
+	// Parameters occupy registers 1..NumParams; the RegType table must cover
+	// them (and slot 0 for NoReg) or the defined[] marking below would panic
+	// on hand-assembled inputs.
+	if len(f.RegType) < f.NumParams()+1 {
+		return verifyErr(f.Name, "", "ir: function %s has %d parameters but register table covers only %d registers",
+			f.Name, f.NumParams(), len(f.RegType)-1)
+	}
+	for i := 0; i < f.NumParams(); i++ {
+		if want := f.Params[i]; f.RegType[f.Param(i)] != want {
+			return verifyErr(f.Name, "", "ir: function %s: parameter %d register has type %s, want %s",
+				f.Name, i, f.RegType[f.Param(i)], want)
+		}
 	}
 	inFunc := make(map[*Block]bool, len(f.Blocks))
 	names := make(map[string]bool, len(f.Blocks))
 	for _, b := range f.Blocks {
 		if names[b.Name] {
-			return fmt.Errorf("ir: %s: duplicate block name %q", f.Name, b.Name)
+			return verifyErr(f.Name, b.Name, "ir: %s: duplicate block name %q", f.Name, b.Name)
 		}
 		names[b.Name] = true
 		inFunc[b] = true
+	}
+
+	// Finish computes Preds; a caller that mutated the CFG without
+	// re-running it would let the phi/pred matching below validate against
+	// stale edges, so recheck that the recorded predecessors are consistent
+	// with the successor lists before trusting them.
+	predCount := make(map[*Block]int, len(f.Blocks))
+	for _, b := range f.Blocks {
+		for _, s := range b.Succs() {
+			if inFunc[s] {
+				predCount[s]++
+			}
+		}
+	}
+	for _, b := range f.Blocks {
+		if len(b.Preds) != predCount[b] {
+			return verifyErr(f.Name, b.Name, "ir: %s.%s: predecessor list is stale (call Finish)", f.Name, b.Name)
+		}
+		for _, p := range b.Preds {
+			if !inFunc[p] {
+				return verifyErr(f.Name, b.Name, "ir: %s.%s: predecessor %q outside function", f.Name, b.Name, p.Name)
+			}
+		}
 	}
 
 	defined := make([]bool, len(f.RegType))
@@ -41,27 +105,27 @@ func Verify(f *Function) error {
 	}
 	checkReg := func(b *Block, r Reg) error {
 		if r <= NoReg || int(r) >= len(f.RegType) {
-			return fmt.Errorf("ir: %s.%s: operand register %d out of range", f.Name, b.Name, r)
+			return verifyErr(f.Name, b.Name, "ir: %s.%s: operand register %d out of range", f.Name, b.Name, r)
 		}
 		return nil
 	}
 
 	for _, b := range f.Blocks {
 		if len(b.Instrs) == 0 {
-			return fmt.Errorf("ir: %s.%s: empty block", f.Name, b.Name)
+			return verifyErr(f.Name, b.Name, "ir: %s.%s: empty block", f.Name, b.Name)
 		}
 		sawNonPhi := false
 		for i, in := range b.Instrs {
 			isLast := i == len(b.Instrs)-1
 			if in.Op.IsTerminator() != isLast {
 				if isLast {
-					return fmt.Errorf("ir: %s.%s: block does not end in a terminator", f.Name, b.Name)
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: block does not end in a terminator", f.Name, b.Name)
 				}
-				return fmt.Errorf("ir: %s.%s: interior terminator %s", f.Name, b.Name, in.Op)
+				return verifyErr(f.Name, b.Name, "ir: %s.%s: interior terminator %s", f.Name, b.Name, in.Op)
 			}
 			if in.Op == OpPhi {
 				if sawNonPhi {
-					return fmt.Errorf("ir: %s.%s: phi after non-phi", f.Name, b.Name)
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: phi after non-phi", f.Name, b.Name)
 				}
 			} else {
 				sawNonPhi = true
@@ -72,8 +136,12 @@ func Verify(f *Function) error {
 				}
 			}
 			for _, t := range in.Blocks {
-				if !inFunc[t] {
-					return fmt.Errorf("ir: %s.%s: %s targets block %q outside function", f.Name, b.Name, in.Op, t.Name)
+				if t == nil || !inFunc[t] {
+					name := "<nil>"
+					if t != nil {
+						name = t.Name
+					}
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: %s targets block %q outside function", f.Name, b.Name, in.Op, name)
 				}
 			}
 			if err := verifyShape(f, b, in); err != nil {
@@ -81,37 +149,37 @@ func Verify(f *Function) error {
 			}
 			if in.Op.HasDest() {
 				if in.Dst == NoReg {
-					return fmt.Errorf("ir: %s.%s: %s missing destination", f.Name, b.Name, in.Op)
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: %s missing destination", f.Name, b.Name, in.Op)
 				}
-				if int(in.Dst) >= len(f.RegType) {
-					return fmt.Errorf("ir: %s.%s: destination %s out of range", f.Name, b.Name, in.Dst)
+				if in.Dst < NoReg || int(in.Dst) >= len(f.RegType) {
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: destination %s out of range", f.Name, b.Name, in.Dst)
 				}
 				if defined[in.Dst] {
-					return fmt.Errorf("ir: %s.%s: register %s defined more than once", f.Name, b.Name, in.Dst)
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: register %s defined more than once", f.Name, b.Name, in.Dst)
 				}
 				defined[in.Dst] = true
 				if want := in.Op.ResultType(in.Type); f.RegType[in.Dst] != want {
-					return fmt.Errorf("ir: %s.%s: %s destination %s has type %s, want %s",
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: %s destination %s has type %s, want %s",
 						f.Name, b.Name, in.Op, in.Dst, f.RegType[in.Dst], want)
 				}
 			} else if in.Dst != NoReg {
-				return fmt.Errorf("ir: %s.%s: %s must not have a destination", f.Name, b.Name, in.Op)
+				return verifyErr(f.Name, b.Name, "ir: %s.%s: %s must not have a destination", f.Name, b.Name, in.Op)
 			}
 		}
 		// Phi incoming edges must match predecessors exactly.
 		for _, phi := range b.Phis() {
 			if len(phi.Args) != len(phi.Blocks) {
-				return fmt.Errorf("ir: %s.%s: phi %s has %d values for %d blocks",
+				return verifyErr(f.Name, b.Name, "ir: %s.%s: phi %s has %d values for %d blocks",
 					f.Name, b.Name, phi.Dst, len(phi.Args), len(phi.Blocks))
 			}
 			if len(phi.Args) != len(b.Preds) {
-				return fmt.Errorf("ir: %s.%s: phi %s has %d incoming edges, block has %d predecessors",
+				return verifyErr(f.Name, b.Name, "ir: %s.%s: phi %s has %d incoming edges, block has %d predecessors",
 					f.Name, b.Name, phi.Dst, len(phi.Args), len(b.Preds))
 			}
 			seen := make(map[*Block]bool, len(phi.Blocks))
 			for _, from := range phi.Blocks {
 				if seen[from] {
-					return fmt.Errorf("ir: %s.%s: phi %s has duplicate incoming block %s",
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: phi %s has duplicate incoming block %s",
 						f.Name, b.Name, phi.Dst, from.Name)
 				}
 				seen[from] = true
@@ -123,7 +191,7 @@ func Verify(f *Function) error {
 					}
 				}
 				if !found {
-					return fmt.Errorf("ir: %s.%s: phi %s names non-predecessor %s",
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: phi %s names non-predecessor %s",
 						f.Name, b.Name, phi.Dst, from.Name)
 				}
 			}
@@ -142,7 +210,7 @@ func Verify(f *Function) error {
 			retArity = len(t.Args)
 			retType = t.Type
 		} else if retArity != len(t.Args) || (retArity == 1 && retType != t.Type) {
-			return fmt.Errorf("ir: %s: inconsistent return types across blocks", f.Name)
+			return verifyErr(f.Name, "", "ir: %s: inconsistent return types across blocks", f.Name)
 		}
 	}
 
@@ -152,7 +220,7 @@ func Verify(f *Function) error {
 		for _, in := range b.Instrs {
 			for _, a := range in.Args {
 				if !defined[a] {
-					return fmt.Errorf("ir: %s.%s: register %s used but never defined", f.Name, b.Name, a)
+					return verifyErr(f.Name, b.Name, "ir: %s.%s: register %s used but never defined", f.Name, b.Name, a)
 				}
 			}
 		}
@@ -164,7 +232,7 @@ func Verify(f *Function) error {
 func verifyShape(f *Function, b *Block, in *Instr) error {
 	bad := func(format string, args ...any) error {
 		prefix := fmt.Sprintf("ir: %s.%s: %s: ", f.Name, b.Name, in.Op)
-		return fmt.Errorf(prefix+format, args...)
+		return &VerifyError{Func: f.Name, Block: b.Name, Msg: prefix + fmt.Sprintf(format, args...)}
 	}
 	wantArgs := func(n int) error {
 		if len(in.Args) != n {

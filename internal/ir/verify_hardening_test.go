@@ -1,0 +1,146 @@
+package ir
+
+import (
+	"errors"
+	"testing"
+)
+
+// mustParseOne parses a single-function module and returns the function.
+func mustParseOne(t *testing.T, src string) *Function {
+	t.Helper()
+	m, err := Parse(src)
+	if err != nil {
+		t.Fatalf("parse: %v", err)
+	}
+	return m.Funcs[0]
+}
+
+// asVerifyError asserts err carries a *VerifyError for the given function.
+func asVerifyError(t *testing.T, err error, wantFunc string) *VerifyError {
+	t.Helper()
+	if err == nil {
+		t.Fatal("Verify accepted a malformed function")
+	}
+	var ve *VerifyError
+	if !errors.As(err, &ve) {
+		t.Fatalf("Verify error is %T, want *VerifyError: %v", err, err)
+	}
+	if ve.Func != wantFunc {
+		t.Errorf("VerifyError.Func = %q, want %q", ve.Func, wantFunc)
+	}
+	if ve.Msg != err.Error() {
+		t.Errorf("Error() = %q diverges from Msg %q", err.Error(), ve.Msg)
+	}
+	return ve
+}
+
+// TestVerifyReturnsTypedErrors pins the *VerifyError contract the serve
+// layer's 422 mapping depends on: every structural rejection must surface
+// the typed error with the function (and, where known, block) names.
+func TestVerifyReturnsTypedErrors(t *testing.T) {
+	f := &Function{Name: "empty"}
+	ve := asVerifyError(t, Verify(f), "empty")
+	if ve.Block != "" {
+		t.Errorf("function-level failure recorded block %q", ve.Block)
+	}
+
+	g := mustParseOne(t, "func @g() {\nentry:\n  r1 = const.i64 0\n  ret r1\n}\n")
+	// Corrupt an operand register to point far out of range.
+	g.Blocks[0].Instrs[1].Args[0] = Reg(9999)
+	ve = asVerifyError(t, Verify(g), "g")
+	if ve.Block != "entry" {
+		t.Errorf("VerifyError.Block = %q, want %q", ve.Block, "entry")
+	}
+}
+
+// TestVerifyOutOfRangeRegisters covers hand-assembled functions whose
+// register references exceed (or underflow) the register table — the shapes
+// that used to panic instead of erroring.
+func TestVerifyOutOfRangeRegisters(t *testing.T) {
+	src := "func @f() {\nentry:\n  r1 = const.i64 7\n  ret r1\n}\n"
+
+	f := mustParseOne(t, src)
+	f.Blocks[0].Instrs[1].Args[0] = Reg(len(f.RegType))
+	asVerifyError(t, Verify(f), "f")
+
+	f = mustParseOne(t, src)
+	f.Blocks[0].Instrs[1].Args[0] = Reg(-3)
+	asVerifyError(t, Verify(f), "f")
+
+	f = mustParseOne(t, src)
+	f.Blocks[0].Instrs[0].Dst = Reg(len(f.RegType) + 5)
+	asVerifyError(t, Verify(f), "f")
+
+	// An undersized register table must not panic the parameter check.
+	f = mustParseOne(t, "func @f(i64, i64) {\nentry:\n  ret r1\n}\n")
+	f.RegType = f.RegType[:2] // covers NoReg + one of two params
+	asVerifyError(t, Verify(f), "f")
+}
+
+// TestVerifyMalformedPhiArity: a phi whose value list disagrees with its
+// block list, or with the block's predecessors, is rejected.
+func TestVerifyMalformedPhiArity(t *testing.T) {
+	src := `func @f(i64) {
+entry:
+  br %head
+head:
+  r2 = phi.i64 [entry: r1] [body: r3]
+  r4 = cmp.lt r2, r1
+  condbr r4, %body, %exit
+body:
+  r5 = const.i64 1
+  r3 = add r2, r5
+  br %head
+exit:
+  ret r2
+}
+`
+	f := mustParseOne(t, src)
+	phi := f.BlockByName("head").Instrs[0]
+	phi.Args = phi.Args[:1] // one value, two incoming blocks
+	asVerifyError(t, Verify(f), "f")
+
+	f = mustParseOne(t, src)
+	phi = f.BlockByName("head").Instrs[0]
+	phi.Args = phi.Args[:1]
+	phi.Blocks = phi.Blocks[:1] // consistent with each other, not with Preds
+	ve := asVerifyError(t, Verify(f), "f")
+	if ve.Block != "head" {
+		t.Errorf("VerifyError.Block = %q, want %q", ve.Block, "head")
+	}
+
+	f = mustParseOne(t, src)
+	phi = f.BlockByName("head").Instrs[0]
+	phi.Blocks[1] = phi.Blocks[0] // duplicate incoming block
+	asVerifyError(t, Verify(f), "f")
+}
+
+// TestVerifyUnreachableSuccessorRefs: branch targets outside the function
+// (or nil) are rejected, as are predecessor lists that no longer match the
+// successor edges (a CFG mutated without re-running Finish).
+func TestVerifyUnreachableSuccessorRefs(t *testing.T) {
+	src := "func @f() {\nentry:\n  br %exit\nexit:\n  ret\n}\n"
+
+	f := mustParseOne(t, src)
+	f.Blocks[0].Term().Blocks[0] = &Block{Name: "elsewhere"}
+	asVerifyError(t, Verify(f), "f")
+
+	f = mustParseOne(t, src)
+	f.Blocks[0].Term().Blocks[0] = nil
+	asVerifyError(t, Verify(f), "f")
+
+	// Rewire the terminator without Finish: Preds are now stale.
+	f = mustParseOne(t, "func @f() {\nentry:\n  br %a\na:\n  br %b\nb:\n  ret\n}\n")
+	f.Blocks[0].Term().Blocks[0] = f.Blocks[2]
+	asVerifyError(t, Verify(f), "f")
+}
+
+// TestParseRejectsDuplicateFunctions: two functions sharing a name cannot
+// coexist in one module (Func lookups and call resolution would be
+// ambiguous).
+func TestParseRejectsDuplicateFunctions(t *testing.T) {
+	_, err := Parse("func @f() {\nentry:\n  ret\n}\nfunc @f() {\nentry:\n  ret\n}\n")
+	if err == nil {
+		t.Fatal("Parse accepted duplicate function names")
+	}
+}

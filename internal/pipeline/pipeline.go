@@ -9,10 +9,13 @@
 //     Backend (internal/target provides sim, cgra, hls, and energy), so new
 //     accelerator models plug in without touching the pipeline.
 //   - Cross-config artifact reuse: a Cache keys each stage's artifact by
-//     (workload, cumulative upstream fingerprint), so a sweep over
+//     (program key, cumulative upstream fingerprint), so a sweep over
 //     downstream knobs — predictor history bits, guard placement, CGRA
 //     parameters — shares the expensive Inline/Profile/Select artifacts
-//     instead of re-profiling the workload per configuration.
+//     instead of re-profiling the program per configuration. The program
+//     key embeds a content digest of the IR and initial state, so a
+//     persistent DiskStore never serves a stale artifact after a
+//     same-named program's body changes across binary versions.
 //
 // core.Analyze and friends remain as thin compatibility wrappers over Run
 // and produce byte-identical output.
@@ -27,9 +30,9 @@ import (
 	"needle/internal/obs"
 	"needle/internal/passes"
 	"needle/internal/pm"
+	"needle/internal/program"
 	"needle/internal/region"
 	"needle/internal/sim"
-	"needle/internal/workloads"
 )
 
 // Observability counters (no-ops until obs.Enable).
@@ -89,7 +92,7 @@ func (c Config) WithDefaults() Config {
 	return c
 }
 
-// InlineArtifact is the Inline stage's output: the workload instance with
+// InlineArtifact is the Inline stage's output: the program instance with
 // its hot function aggressively inlined (Section II-A), plus the analysis
 // manager that owns every cached analysis of that function. Args and Memory
 // are the pristine initial state; stages that execute the function copy
@@ -116,7 +119,7 @@ type SelectArtifact struct {
 }
 
 // FrameArtifact is the Frame stage's output: the software frame of the top
-// braid. HotBraidFrame is nil when the workload formed no braids or when
+// braid. HotBraidFrame is nil when the program formed no braids or when
 // frame construction failed; FrameErr distinguishes the two (it records the
 // frame.Build error, and is nil when no build was attempted or the build
 // succeeded).
@@ -132,12 +135,12 @@ type TargetArtifact struct {
 }
 
 // Artifacts is the artifact context threaded through the stages: the run's
-// identity (workload + normalized config), its observability span, and one
+// identity (program + normalized config), its observability span, and one
 // typed artifact per completed stage. When a Cache is in use, upstream
 // artifacts may be shared with other runs — stages treat them as read-only.
 type Artifacts struct {
-	Workload *workloads.Workload
-	Config   Config
+	Program *program.Program
+	Config  Config
 	// Span is the run's observability span; stages and backends parent
 	// their spans under it. The run's pm.Manager travels in Inline.AM.
 	Span *obs.Span
@@ -169,9 +172,9 @@ type Stage struct {
 	// "target") in spans, cache statistics, and documentation.
 	Name string
 	// Fingerprint serializes exactly the Config fields this stage reads.
-	// A stage's cache key is the workload plus the cumulative fingerprints
-	// of itself and every upstream stage, so two configs that agree on the
-	// upstream knobs share upstream artifacts.
+	// A stage's cache key is the program key plus the cumulative
+	// fingerprints of itself and every upstream stage, so two configs that
+	// agree on the upstream knobs share upstream artifacts.
 	Fingerprint func(Config) string
 	// cacheable marks stages whose artifact a Cache may share across runs.
 	// The Target stage always evaluates fresh: it is the downstream end of
@@ -204,11 +207,16 @@ func StageNames() []string {
 }
 
 // stageKeys returns the cumulative cache key of every stage for a normalized
-// config: the workload name plus the fingerprints of the stage and everything
-// upstream of it, in execution order.
-func stageKeys(w *workloads.Workload, cfg Config) []string {
+// config: the program key ("<name>@<content digest>") plus the fingerprints
+// of the stage and everything upstream of it, in execution order. Keying on
+// the digest rather than the bare name is what makes persisted artifacts
+// safe across binary versions: two different bodies behind one name can
+// never serve each other's artifacts, and the name stays in the key so
+// entries remain debuggable (and name-bearing cached errors never leak
+// across same-content programs).
+func stageKeys(p *program.Program, cfg Config) []string {
 	keys := make([]string, len(stages))
-	key := w.Name
+	key := p.Key()
 	for i := range stages {
 		key += "|" + stages[i].Name + "{" + stages[i].Fingerprint(cfg) + "}"
 		keys[i] = key
@@ -216,22 +224,28 @@ func stageKeys(w *workloads.Workload, cfg Config) []string {
 	return keys
 }
 
-// Fingerprint returns the full cumulative fingerprint of a run: the workload
-// plus every stage's config fingerprint, after the same normalization Run
-// applies. Two runs with equal fingerprints produce byte-identical artifacts
-// and summaries, so request-collapsing layers (the serve daemon's
+// Fingerprint returns the full cumulative fingerprint of a run: the program
+// key plus every stage's config fingerprint, after the same normalization
+// Run applies. Two runs with equal fingerprints produce byte-identical
+// artifacts and summaries, so request-collapsing layers (the serve daemon's
 // singleflight) key on it.
-func Fingerprint(w *workloads.Workload, cfg Config) string {
-	keys := stageKeys(w, cfg.WithDefaults())
+func Fingerprint(p *program.Program, cfg Config) string {
+	keys := stageKeys(p, cfg.WithDefaults())
 	return keys[len(keys)-1]
 }
 
 var inlineStage = Stage{
-	Name:        "inline",
+	Name: "inline",
+	// N selects which instance a workload materializes as a Program, and it
+	// is reported verbatim in summaries. The program digest already
+	// separates different instances, but N=0 ("the default size") and an
+	// explicit N=default produce the same Program with different summary
+	// bytes — the fingerprint keeps them distinct for request-collapsing
+	// layers that key on the full Fingerprint.
 	Fingerprint: func(c Config) string { return fmt.Sprintf("n=%d", c.N) },
 	cacheable:   true,
 	run: func(a *Artifacts, sp *obs.Span) (any, error) {
-		f, args, memory := a.Workload.Instance(a.Config.N)
+		p := a.Program
 		// The artifact owns a fresh analysis manager: every cached analysis
 		// of the inlined function (dominators, liveness, execution plans)
 		// is computed once and shared by every run that reuses the
@@ -239,11 +253,11 @@ var inlineStage = Stage{
 		// the pass-manager and capture spans recorded below it.
 		am := pm.NewManager()
 		am.SetSpan(a.Span)
-		f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(f)
+		f, err := pm.NewPassManager(am).Add(passes.InlinePass(0)).Run(p.F)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: inlining %s: %w", a.Workload.Name, err)
+			return nil, fmt.Errorf("pipeline: inlining %s: %w", p.Name, err)
 		}
-		return &InlineArtifact{AM: am, F: f, Args: args, Memory: memory}, nil
+		return &InlineArtifact{AM: am, F: f, Args: p.Args, Memory: p.Memory}, nil
 	},
 	apply:  func(a *Artifacts, out any) { a.Inline = out.(*InlineArtifact) },
 	encode: inlineEncode,
@@ -268,7 +282,7 @@ var profileStage = Stage{
 		memory := append([]uint64(nil), in.Memory...)
 		tr, err := sim.Capture(in.AM, in.F, args, memory, a.Config.Sim)
 		if err != nil {
-			return nil, fmt.Errorf("pipeline: capturing %s: %w", a.Workload.Name, err)
+			return nil, fmt.Errorf("pipeline: capturing %s: %w", a.Program.Name, err)
 		}
 		return &ProfileArtifact{Trace: tr}, nil
 	},
@@ -310,7 +324,7 @@ var frameStage = Stage{
 			// Frame construction failing for the hot braid is survivable —
 			// the target evaluations run regardless — but it must not be
 			// silent: record it for the caller (the FrameErr contract).
-			out.FrameErr = fmt.Errorf("pipeline: framing hot braid of %s: %w", a.Workload.Name, err)
+			out.FrameErr = fmt.Errorf("pipeline: framing hot braid of %s: %w", a.Program.Name, err)
 			obsFrameErrs.Add(1)
 			sp.SetArg("error", err.Error())
 			return out, nil
@@ -338,7 +352,7 @@ var targetStage = Stage{
 			rep, err := b.Evaluate(a)
 			bsp.End()
 			if err != nil {
-				return nil, fmt.Errorf("pipeline: target %s on %s: %w", b.Name(), a.Workload.Name, err)
+				return nil, fmt.Errorf("pipeline: target %s on %s: %w", b.Name(), a.Program.Name, err)
 			}
 			out.Reports = append(out.Reports, rep)
 		}
@@ -380,24 +394,24 @@ func (o RunOptions) store() Store {
 	return nil
 }
 
-// Run executes the staged pipeline on one workload. Zero-valued Config
+// Run executes the staged pipeline on one program. Zero-valued Config
 // fields are filled from DefaultConfig field by field. With a Store, the
-// Inline/Profile/Select/Frame artifacts are reused whenever the workload
-// and the cumulative upstream fingerprint match a prior run — from the
-// memory tier, or (for a DiskStore) rehydrated from a previous process's
-// persisted artifacts; the Target stage always evaluates fresh against the
-// (possibly shared) upstream artifacts. Output is byte-identical whichever
-// tier the artifacts come from. With a Ctx, the run stops between stages
-// once the context is done and returns its error.
-func Run(w *workloads.Workload, cfg Config, opts RunOptions) (*Artifacts, error) {
+// Inline/Profile/Select/Frame artifacts are reused whenever the program key
+// (name + content digest) and the cumulative upstream fingerprint match a
+// prior run — from the memory tier, or (for a DiskStore) rehydrated from a
+// previous process's persisted artifacts; the Target stage always evaluates
+// fresh against the (possibly shared) upstream artifacts. Output is
+// byte-identical whichever tier the artifacts come from. With a Ctx, the
+// run stops between stages once the context is done and returns its error.
+func Run(p *program.Program, cfg Config, opts RunOptions) (*Artifacts, error) {
 	cfg = cfg.WithDefaults()
-	sp := opts.Parent.Child("analyze " + w.Name)
+	sp := opts.Parent.Child("analyze " + p.Name)
 	defer sp.End()
 	obsRuns.Add(1)
 
 	store := opts.store()
-	a := &Artifacts{Workload: w, Config: cfg, Span: sp}
-	keys := stageKeys(w, cfg)
+	a := &Artifacts{Program: p, Config: cfg, Span: sp}
+	keys := stageKeys(p, cfg)
 	for i := range stages {
 		st := &stages[i]
 		if opts.Ctx != nil {

@@ -8,8 +8,19 @@ import (
 	"sync"
 	"testing"
 
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
+
+// prog materializes a workload at size n as the pipeline's Program input.
+func prog(t *testing.T, w *workloads.Workload, n int) *program.Program {
+	t.Helper()
+	p, err := w.Program(n)
+	if err != nil {
+		t.Fatalf("program %s: %v", w.Name, err)
+	}
+	return p
+}
 
 func TestStageNamesInOrder(t *testing.T) {
 	want := []string{"inline", "profile", "select", "frame", "target"}
@@ -212,25 +223,25 @@ func TestCumulativeKeysEmbedUpstream(t *testing.T) {
 // config changes (upstream or downstream) produce distinct keys.
 func TestFingerprintNormalizesAndDiscriminates(t *testing.T) {
 	ws := workloads.All()
-	w, w2 := ws[0], ws[1]
-	if Fingerprint(w, Config{}) != Fingerprint(w, DefaultConfig()) {
+	p, p2 := prog(t, ws[0], 0), prog(t, ws[1], 0)
+	if Fingerprint(p, Config{}) != Fingerprint(p, DefaultConfig()) {
 		t.Error("zero config and DefaultConfig() must share a fingerprint")
 	}
-	if Fingerprint(w, Config{}) == Fingerprint(w2, Config{}) {
-		t.Error("different workloads must not share a fingerprint")
+	if Fingerprint(p, Config{}) == Fingerprint(p2, Config{}) {
+		t.Error("different programs must not share a fingerprint")
 	}
 	big := DefaultConfig()
 	big.N = 4096
-	if Fingerprint(w, big) == Fingerprint(w, DefaultConfig()) {
+	if Fingerprint(p, big) == Fingerprint(p, DefaultConfig()) {
 		t.Error("problem size must change the fingerprint")
 	}
 	hist := DefaultConfig()
 	hist.Sim.HistBits = 16
-	if Fingerprint(w, hist) == Fingerprint(w, DefaultConfig()) {
+	if Fingerprint(p, hist) == Fingerprint(p, DefaultConfig()) {
 		t.Error("a downstream knob must still change the full fingerprint")
 	}
-	last := stageKeys(w, DefaultConfig().WithDefaults())
-	if Fingerprint(w, DefaultConfig()) != last[len(last)-1] {
+	last := stageKeys(p, DefaultConfig().WithDefaults())
+	if Fingerprint(p, DefaultConfig()) != last[len(last)-1] {
 		t.Error("Fingerprint must equal the final cumulative stage key Run uses")
 	}
 }
@@ -239,19 +250,19 @@ func TestFingerprintNormalizesAndDiscriminates(t *testing.T) {
 // before the next stage, returns the context's error, and leaves no
 // memoized cancellation behind in the store.
 func TestRunCtxCancelsBetweenStages(t *testing.T) {
-	w := workloads.All()[0]
+	p := prog(t, workloads.All()[0], 600)
 	cfg := DefaultConfig()
 	cfg.N = 600
 	cache := NewCache()
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()
-	if _, err := Run(w, cfg, RunOptions{Store: cache, Ctx: ctx}); !errors.Is(err, context.Canceled) {
+	if _, err := Run(p, cfg, RunOptions{Store: cache, Ctx: ctx}); !errors.Is(err, context.Canceled) {
 		t.Fatalf("want context.Canceled, got %v", err)
 	}
 	if n := cache.Len(); n != 0 {
 		t.Fatalf("cancelled run memoized %d artifacts before its first stage", n)
 	}
-	arts, err := Run(w, cfg, RunOptions{Store: cache, Ctx: context.Background()})
+	arts, err := Run(p, cfg, RunOptions{Store: cache, Ctx: context.Background()})
 	if err != nil {
 		t.Fatalf("run after cancellation: %v", err)
 	}

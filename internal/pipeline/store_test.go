@@ -10,17 +10,23 @@ import (
 	"strings"
 	"testing"
 
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
 
-// testWorkload returns a small, fast workload for store tests.
-func testWorkload(t *testing.T) *workloads.Workload {
+// testWorkload returns a small, fast program for store tests (470.lbm at
+// the testConfig problem size).
+func testWorkload(t *testing.T) *program.Program {
 	t.Helper()
 	w := workloads.ByName("470.lbm")
 	if w == nil {
 		t.Fatal("workload 470.lbm not registered")
 	}
-	return w
+	p, err := w.Program(testConfig().N)
+	if err != nil {
+		t.Fatalf("program: %v", err)
+	}
+	return p
 }
 
 func testConfig() Config {

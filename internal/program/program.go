@@ -1,0 +1,115 @@
+// Package program defines the pipeline's first-class input: an arbitrary
+// NIR program plus the deterministic initial state it runs against, and a
+// content digest that identifies exactly that. Every layer above the IR —
+// the staged pipeline, the core Analyzer, the CLI, and the needled service
+// — consumes a *Program, so "analyze this workload" and "analyze this file
+// the user just POSTed" are the same operation.
+//
+// The digest is the load-bearing part. Stage artifacts (and their on-disk
+// persisted forms) used to be keyed by workload *name*, which silently
+// reused stale artifacts whenever a same-named kernel's body changed across
+// binary versions. A Program is content-addressed instead: the digest is a
+// SHA-256 over the canonical ir.Print rendering of the entry function and
+// everything it transitively calls, plus the entry point and the full
+// initial state (arguments and memory image). Two programs share a digest
+// exactly when the pipeline would produce byte-identical artifacts for
+// them; two different bodies behind one name never collide.
+package program
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"sync"
+
+	"needle/internal/ir"
+)
+
+// Program is one analyzable unit: a verified entry function (with its
+// transitive callees reachable through the IR), the pristine initial state
+// a run starts from, and identity metadata. Programs are immutable after
+// New; Args and Memory are the pristine images — every consumer that
+// executes the program copies them first, so one Program can back any
+// number of concurrent runs.
+type Program struct {
+	// Name labels the program in reports, spans, and summaries (a workload
+	// name like "164.gzip", or the entry function's name for loaded files).
+	Name string
+	// Suite groups related programs ("SPEC", "PARSEC", "PERFECT" for the
+	// built-in workloads; SuiteUser for programs loaded from source).
+	Suite string
+	// F is the entry function. It and its transitive callees have passed
+	// ir.Verify.
+	F *ir.Function
+	// Args holds the entry function's argument values (read-only).
+	Args []uint64
+	// Memory is the initial memory image (read-only).
+	Memory []uint64
+
+	digestOnce sync.Once
+	digest     string
+}
+
+// SuiteUser is the suite label of programs loaded from user-supplied
+// source rather than the built-in workload registry.
+const SuiteUser = "user"
+
+// digestDomain separates program digests from any other SHA-256 use; bump
+// the version if the digested byte layout ever changes.
+const digestDomain = "needle-program-v1"
+
+// New builds a Program after verifying the entry function and every
+// function it transitively calls. The argument count must match the entry
+// function's parameter count. args and memory are retained, not copied —
+// the caller hands over ownership of pristine, henceforth read-only state.
+func New(name, suite string, f *ir.Function, args, memory []uint64) (*Program, error) {
+	if f == nil {
+		return nil, fmt.Errorf("program: %s: no entry function", name)
+	}
+	for _, fn := range ir.ModuleOf(f).Funcs {
+		if err := ir.Verify(fn); err != nil {
+			return nil, fmt.Errorf("program: %s: %w", name, err)
+		}
+	}
+	if len(args) != f.NumParams() {
+		return nil, fmt.Errorf("program: %s: entry @%s wants %d arguments, have %d",
+			name, f.Name, f.NumParams(), len(args))
+	}
+	return &Program{Name: name, Suite: suite, F: f, Args: args, Memory: memory}, nil
+}
+
+// Digest returns the program's content digest: 32 hex characters of a
+// SHA-256 over the canonical printed module (entry first), the entry
+// function's name, and the full initial state. It is deterministic across
+// processes and binary versions — the property the persistent artifact
+// store's cache keys rely on — and is computed once, lazily.
+func (p *Program) Digest() string {
+	p.digestOnce.Do(func() {
+		h := sha256.New()
+		var word [8]byte
+		writeUint := func(v uint64) {
+			binary.LittleEndian.PutUint64(word[:], v)
+			h.Write(word[:])
+		}
+		fmt.Fprintf(h, "%s\nentry=%s\n", digestDomain, p.F.Name)
+		h.Write([]byte(ir.PrintModule(ir.ModuleOf(p.F))))
+		fmt.Fprintf(h, "\nargs=%d\n", len(p.Args))
+		for _, a := range p.Args {
+			writeUint(a)
+		}
+		fmt.Fprintf(h, "\nmem=%d\n", len(p.Memory))
+		for _, m := range p.Memory {
+			writeUint(m)
+		}
+		p.digest = hex.EncodeToString(h.Sum(nil))[:32]
+	})
+	return p.digest
+}
+
+// Key returns the human-readable cache-key base the pipeline uses:
+// "<name>@<digest>". The name keeps store entries and span labels
+// debuggable; the digest is what makes the key content-addressed.
+func (p *Program) Key() string { return p.Name + "@" + p.Digest() }
+
+func (p *Program) String() string { return p.Key() }

@@ -17,6 +17,7 @@ import (
 
 	"needle/internal/core"
 	"needle/internal/obs"
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
 
@@ -24,7 +25,7 @@ import (
 // this workload and config: MarshalSummaries plus Println's newline.
 func cliBytes(t *testing.T, w *workloads.Workload, cfg core.Config) []byte {
 	t.Helper()
-	a, err := core.New().Run(context.Background(), w, cfg)
+	a, err := core.New().RunWorkload(context.Background(), w, cfg)
 	if err != nil {
 		t.Fatalf("reference run %s: %v", w.Name, err)
 	}
@@ -91,10 +92,10 @@ func TestConcurrentIdenticalRequestsCollapse(t *testing.T) {
 	const followers = 2
 	real := s.analyze
 	var runs int32
-	s.analyze = func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, parent *obs.Span, p *program.Program, cfg core.Config) (*core.Analysis, error) {
 		atomic.AddInt32(&runs, 1)
 		waitUntil(t, func() bool { return s.Collapsed() >= followers })
-		return real(ctx, parent, w, cfg)
+		return real(ctx, parent, p, cfg)
 	}
 	var wg sync.WaitGroup
 	bodies := make([][]byte, followers+1)

@@ -15,8 +15,10 @@ import (
 	"time"
 
 	"needle/internal/core"
+	"needle/internal/ir"
 	"needle/internal/obs"
 	"needle/internal/pipeline"
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
 
@@ -29,12 +31,27 @@ func (s *Server) routes() {
 	s.mux.HandleFunc("/metrics", s.handleMetrics)
 }
 
-// analyzeRequest is the POST /v1/analyze payload.
+// analyzeRequest is the POST /v1/analyze payload. Exactly one of Workload
+// and Source selects the program.
 type analyzeRequest struct {
-	// Workload names the kernel to analyze (see GET /v1/workloads).
+	// Workload names a built-in kernel to analyze (see GET /v1/workloads).
 	Workload string `json:"workload"`
+	// Source is inline .nir program text to analyze instead of a built-in
+	// workload. It is parsed and verified under the server's limits
+	// (unprocessable source → 422, over-limit source → 413) and analyzed
+	// byte-identically to `needle -nir <file> -json`.
+	Source string `json:"source"`
+	// Entry names Source's entry function; empty selects its first.
+	Entry string `json:"entry"`
+	// MemWords sizes Source's memory image in 64-bit words; 0 selects the
+	// loader default (program.DefaultMemWords).
+	MemWords int `json:"memWords"`
+	// Args are Source's entry-function arguments as literals (int64, or
+	// "f:"-prefixed float64), exactly as `needle -args` takes them.
+	Args []string `json:"args"`
 	// N overrides the problem size; 0 keeps the workload default. It is a
-	// convenience alias for config.N and wins when both are set.
+	// convenience alias for config.N and wins when both are set. Workload
+	// requests only.
 	N int `json:"n"`
 	// Config is a full pipeline configuration; absent fields are filled
 	// from the paper's defaults exactly as the CLI fills them.
@@ -51,10 +68,12 @@ type sweepRequest struct {
 	TimeoutMs int64        `json:"timeoutMs"`
 }
 
-// decodeBody strictly decodes a JSON request body into dst. An empty body
-// is accepted when allowEmpty is set (dst is left zero).
-func decodeBody(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool) error {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, 1<<20))
+// decodeBody strictly decodes a JSON request body into dst, bounded by the
+// server's body cap. An empty body is accepted when allowEmpty is set (dst
+// is left zero). An over-cap body surfaces as *http.MaxBytesError in the
+// chain, which requestStatus maps to 413.
+func (s *Server) decodeBody(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool) error {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes))
 	if err != nil {
 		return fmt.Errorf("reading request body: %w", err)
 	}
@@ -104,6 +123,24 @@ func (s *Server) requestContext(r *http.Request, timeoutMs int64) (context.Conte
 	return context.WithTimeout(r.Context(), d)
 }
 
+// requestStatus maps an ingestion error to its HTTP status: over-cap
+// payloads and over-limit programs are 413, structurally invalid programs
+// are 422, everything else is a plain 400.
+func requestStatus(err error) int {
+	var tooBig *http.MaxBytesError
+	switch {
+	case errors.As(err, &tooBig), errors.Is(err, program.ErrTooLarge):
+		return http.StatusRequestEntityTooLarge
+	case errors.Is(err, program.ErrInvalid):
+		return http.StatusUnprocessableEntity
+	}
+	var verr *ir.VerifyError
+	if errors.As(err, &verr) {
+		return http.StatusUnprocessableEntity
+	}
+	return http.StatusBadRequest
+}
+
 // writeError emits a JSON error object with the status code err maps to.
 func (s *Server) writeError(w http.ResponseWriter, err error) {
 	status := http.StatusInternalServerError
@@ -129,44 +166,42 @@ func writeJSONError(w http.ResponseWriter, status int, msg string) {
 	json.NewEncoder(w).Encode(map[string]string{"error": msg}) //nolint:errcheck // response write
 }
 
-// handleAnalyze serves POST /v1/analyze: one workload, one config, the
-// exact bytes `needle -json -workload <name>` would print. With ?trace=1
-// the response is instead a request-scoped Chrome trace of the run.
+// handleAnalyze serves POST /v1/analyze: one program — a built-in workload
+// or inline .nir source — one config, the exact bytes `needle -json` would
+// print for the same input. With ?trace=1 the response is instead a
+// request-scoped Chrome trace of the run.
 func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
 		return
 	}
 	var req analyzeRequest
-	if err := decodeBody(w, r, &req, false); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+	if err := s.decodeBody(w, r, &req, false); err != nil {
+		writeJSONError(w, requestStatus(err), err.Error())
 		return
 	}
-	if req.Workload == "" {
-		writeJSONError(w, http.StatusBadRequest, "missing workload name")
+	p, cfg, errStatus, err := s.resolveProgram(&req)
+	if err != nil {
+		writeJSONError(w, errStatus, err.Error())
 		return
 	}
-	wl := workloads.ByName(req.Workload)
-	if wl == nil {
-		writeJSONError(w, http.StatusNotFound, fmt.Sprintf("unknown workload %q (see /v1/workloads)", req.Workload))
-		return
-	}
-	cfg := resolveConfig(req.Config, req.N)
 	ctx, cancel := s.requestContext(r, req.TimeoutMs)
 	defer cancel()
 
 	if wantTrace(r) {
-		s.handleAnalyzeTrace(w, ctx, wl, cfg)
+		s.handleAnalyzeTrace(w, ctx, p, cfg)
 		return
 	}
 
 	// Identical concurrent requests collapse onto one pipeline run: the key
-	// is the pipeline's own cumulative fingerprint, so two requests share a
-	// flight exactly when their runs would be byte-identical.
-	key := pipeline.Fingerprint(wl, cfg)
+	// is the pipeline's own cumulative fingerprint (program content digest
+	// included), so two requests share a flight exactly when their runs
+	// would be byte-identical — same-named but different-bodied inline
+	// programs never collapse onto each other.
+	key := pipeline.Fingerprint(p, cfg)
 	body, err, _ := s.flights.do(ctx, key,
 		func() { s.collapsed.Add(1); obsCollapsed.Add(1) },
-		func() ([]byte, error) { return s.analyzeBytes(ctx, nil, wl, cfg) })
+		func() ([]byte, error) { return s.analyzeBytes(ctx, nil, p, cfg) })
 	if err != nil {
 		s.writeError(w, err)
 		return
@@ -176,22 +211,75 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Write(body) //nolint:errcheck // response write
 }
 
+// resolveProgram turns an analyze request into the program to run and the
+// effective config, applying the server's ingestion limits. On failure it
+// returns the HTTP status the error maps to.
+func (s *Server) resolveProgram(req *analyzeRequest) (*program.Program, core.Config, int, error) {
+	cfg := resolveConfig(req.Config, req.N)
+	switch {
+	case req.Workload != "" && req.Source != "":
+		return nil, cfg, http.StatusBadRequest, errors.New("workload and source are mutually exclusive")
+	case req.Workload != "":
+		if req.Entry != "" || req.MemWords != 0 || len(req.Args) != 0 {
+			return nil, cfg, http.StatusBadRequest, errors.New("entry/memWords/args apply only to source requests")
+		}
+		wl := workloads.ByName(req.Workload)
+		if wl == nil {
+			return nil, cfg, http.StatusNotFound, fmt.Errorf("unknown workload %q (see /v1/workloads)", req.Workload)
+		}
+		p, err := wl.Program(cfg.N)
+		if err != nil {
+			return nil, cfg, http.StatusInternalServerError, err
+		}
+		return p, cfg, 0, nil
+	case req.Source != "":
+		// Untrusted source must not run unbounded: the effective config is
+		// materialized so the step cap can be enforced — an explicit bound
+		// over the cap is rejected, an absent (unlimited) one is clamped.
+		// The cap changes only how a runaway program fails, never the
+		// summary bytes of one that terminates, so CLI/serve byte-identity
+		// holds for every program that completes under it.
+		cfg = cfg.WithDefaults()
+		if max := s.cfg.Limits.MaxSteps; max > 0 {
+			if cfg.Sim.MaxSteps > max {
+				return nil, cfg, http.StatusUnprocessableEntity,
+					fmt.Errorf("config.sim maxSteps %d exceeds the server cap %d", cfg.Sim.MaxSteps, max)
+			}
+			if cfg.Sim.MaxSteps == 0 {
+				cfg.Sim.MaxSteps = max
+			}
+		}
+		p, err := program.Load(req.Source, program.LoadOptions{
+			Entry:    req.Entry,
+			MemWords: req.MemWords,
+			Args:     req.Args,
+			Limits:   s.cfg.Limits,
+		})
+		if err != nil {
+			return nil, cfg, requestStatus(err), err
+		}
+		return p, cfg, 0, nil
+	default:
+		return nil, cfg, http.StatusBadRequest, errors.New("missing workload name or source")
+	}
+}
+
 // handleAnalyzeTrace runs the analysis under a private observability
 // registry and responds with its Chrome trace-event timeline. Trace
 // requests bypass the singleflight (a collapsed request would download
 // another tenant's spans) but still occupy a pool slot.
-func (s *Server) handleAnalyzeTrace(w http.ResponseWriter, ctx context.Context, wl *workloads.Workload, cfg core.Config) {
+func (s *Server) handleAnalyzeTrace(w http.ResponseWriter, ctx context.Context, p *program.Program, cfg core.Config) {
 	reg := &obs.Registry{}
 	reg.Enable()
-	root := reg.StartOnTrack("request: analyze "+wl.Name, 0)
-	_, err := s.analyzeBytes(ctx, root, wl, cfg)
+	root := reg.StartOnTrack("request: analyze "+p.Name, 0)
+	_, err := s.analyzeBytes(ctx, root, p, cfg)
 	root.End()
 	if err != nil {
 		s.writeError(w, err)
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "needle-trace-"+wl.Name+".json"))
+	w.Header().Set("Content-Disposition", fmt.Sprintf("attachment; filename=%q", "needle-trace-"+p.Name+".json"))
 	reg.WriteChromeTrace(w) //nolint:errcheck // response write
 }
 
@@ -208,7 +296,7 @@ func wantTrace(r *http.Request) bool {
 // analyzeBytes queues one pipeline run and marshals its summary into the
 // CLI-identical payload (MarshalSummaries plus the trailing newline
 // `needle -json`'s Println emits).
-func (s *Server) analyzeBytes(ctx context.Context, parent *obs.Span, wl *workloads.Workload, cfg core.Config) ([]byte, error) {
+func (s *Server) analyzeBytes(ctx context.Context, parent *obs.Span, p *program.Program, cfg core.Config) ([]byte, error) {
 	var (
 		body []byte
 		rerr error
@@ -217,7 +305,7 @@ func (s *Server) analyzeBytes(ctx context.Context, parent *obs.Span, wl *workloa
 	j := &job{ctx: ctx, done: make(chan struct{})}
 	j.run = func() {
 		ran = true
-		a, err := s.analyze(ctx, parent, wl, cfg)
+		a, err := s.analyze(ctx, parent, p, cfg)
 		if err != nil {
 			rerr = err
 			return
@@ -262,8 +350,8 @@ func (s *Server) handleSweep(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var req sweepRequest
-	if err := decodeBody(w, r, &req, true); err != nil {
-		writeJSONError(w, http.StatusBadRequest, err.Error())
+	if err := s.decodeBody(w, r, &req, true); err != nil {
+		writeJSONError(w, requestStatus(err), err.Error())
 		return
 	}
 	cfg := resolveConfig(req.Config, req.N)

@@ -6,8 +6,11 @@
 //
 //   - a bounded worker pool with a request queue (429 on overflow),
 //   - per-request deadlines propagated as context into the pipeline,
-//   - singleflight collapsing of identical (workload, config-fingerprint)
+//   - singleflight collapsing of identical (program, config-fingerprint)
 //     requests onto one pipeline run,
+//   - inline-source ingestion: /v1/analyze accepts untrusted .nir text,
+//     loaded through program.Load under configurable size/memory/step caps
+//     (413/422 on violation) so hostile input cannot wedge the pool,
 //   - request-scoped observability spans with an optional per-request
 //     Chrome-trace download,
 //   - graceful drain (in-flight and queued requests finish; new ones get
@@ -30,7 +33,7 @@ import (
 	"needle/internal/core"
 	"needle/internal/obs"
 	"needle/internal/pipeline"
-	"needle/internal/workloads"
+	"needle/internal/program"
 )
 
 // Observability counters (no-ops until obs.Enable; needled always enables
@@ -74,6 +77,27 @@ type Config struct {
 	// (a pipeline.DiskStore to persist across restarts). Nil selects a
 	// process-lifetime in-memory pipeline.Cache.
 	Store pipeline.Store
+	// MaxBodyBytes caps every request body (413 beyond it). <= 0 selects
+	// 1 MiB.
+	MaxBodyBytes int64
+	// Limits bounds inline-source analysis requests (the "source" field of
+	// /v1/analyze): source size, static instruction count, memory image,
+	// and interpreter steps. The zero value selects DefaultLimits — a
+	// service facing untrusted input is never accidentally unbounded.
+	Limits program.Limits
+}
+
+// DefaultLimits is the inline-source request bound the server applies when
+// Config.Limits is zero: generous enough for any of the built-in kernels'
+// printed forms, small enough that a hostile request cannot exhaust the
+// process.
+func DefaultLimits() program.Limits {
+	return program.Limits{
+		MaxSourceBytes: 512 << 10,   // 512 KiB of .nir text
+		MaxInstrs:      1 << 16,     // 65536 static instructions
+		MaxMemWords:    1 << 22,     // 4M words (32 MiB image)
+		MaxSteps:       100_000_000, // interpreter step bound
+	}
 }
 
 // Server is the HTTP handler plus its worker pool. Create with New, serve
@@ -98,7 +122,7 @@ type Server struct {
 	// analyze and sweep are the pipeline entry points; tests substitute
 	// stubs to pin queue/deadline/drain behaviour without running real
 	// analyses.
-	analyze func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error)
+	analyze func(ctx context.Context, parent *obs.Span, p *program.Program, cfg core.Config) (*core.Analysis, error)
 	sweep   func(ctx context.Context, cfg core.Config, progress core.ProgressFunc) error
 }
 
@@ -110,6 +134,12 @@ func New(cfg Config) *Server {
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 64
 	}
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = 1 << 20
+	}
+	if cfg.Limits == (program.Limits{}) {
+		cfg.Limits = DefaultLimits()
+	}
 	s := &Server{
 		cfg:   cfg,
 		store: cfg.Store,
@@ -119,8 +149,8 @@ func New(cfg Config) *Server {
 		s.store = pipeline.NewCache()
 	}
 	s.flights.m = make(map[string]*flight)
-	s.analyze = func(ctx context.Context, parent *obs.Span, w *workloads.Workload, cfg core.Config) (*core.Analysis, error) {
-		return core.New(core.WithStore(s.store), core.WithObsSpan(parent)).Run(ctx, w, cfg)
+	s.analyze = func(ctx context.Context, parent *obs.Span, p *program.Program, cfg core.Config) (*core.Analysis, error) {
+		return core.New(core.WithStore(s.store), core.WithObsSpan(parent)).Run(ctx, p, cfg)
 	}
 	s.sweep = func(ctx context.Context, cfg core.Config, progress core.ProgressFunc) error {
 		_, err := core.New(core.WithStore(s.store), core.WithJobs(s.cfg.Jobs),

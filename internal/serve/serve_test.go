@@ -18,6 +18,7 @@ import (
 
 	"needle/internal/core"
 	"needle/internal/obs"
+	"needle/internal/program"
 	"needle/internal/workloads"
 )
 
@@ -38,7 +39,7 @@ func TestAnalyzeRejectsBadRequests(t *testing.T) {
 	s := New(Config{Jobs: 1})
 	defer s.Close()
 	var runs int32
-	s.analyze = func(context.Context, *obs.Span, *workloads.Workload, core.Config) (*core.Analysis, error) {
+	s.analyze = func(context.Context, *obs.Span, *program.Program, core.Config) (*core.Analysis, error) {
 		atomic.AddInt32(&runs, 1)
 		return nil, errors.New("must not run")
 	}
@@ -122,7 +123,7 @@ func TestQueueOverflowRejectsWith429(t *testing.T) {
 	defer s.Close()
 	started := make(chan struct{}, 4)
 	release := make(chan struct{})
-	s.analyze = func(ctx context.Context, _ *obs.Span, _ *workloads.Workload, _ core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, _ *obs.Span, _ *program.Program, _ core.Config) (*core.Analysis, error) {
 		started <- struct{}{}
 		<-release
 		return nil, errors.New("stub finished")
@@ -159,7 +160,7 @@ func TestQueueOverflowRejectsWith429(t *testing.T) {
 func TestDeadlineCancelsWith499(t *testing.T) {
 	s := New(Config{Jobs: 1})
 	defer s.Close()
-	s.analyze = func(ctx context.Context, _ *obs.Span, _ *workloads.Workload, _ core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, _ *obs.Span, _ *program.Program, _ core.Config) (*core.Analysis, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -174,7 +175,7 @@ func TestDeadlineCancelsWith499(t *testing.T) {
 func TestServerTimeoutCapsRequestDeadline(t *testing.T) {
 	s := New(Config{Jobs: 1, Timeout: 20 * time.Millisecond})
 	defer s.Close()
-	s.analyze = func(ctx context.Context, _ *obs.Span, _ *workloads.Workload, _ core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, _ *obs.Span, _ *program.Program, _ core.Config) (*core.Analysis, error) {
 		<-ctx.Done()
 		return nil, ctx.Err()
 	}
@@ -191,7 +192,7 @@ func TestGracefulDrain(t *testing.T) {
 	s := New(Config{Jobs: 1})
 	started := make(chan struct{})
 	release := make(chan struct{})
-	s.analyze = func(ctx context.Context, _ *obs.Span, _ *workloads.Workload, _ core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, _ *obs.Span, _ *program.Program, _ core.Config) (*core.Analysis, error) {
 		close(started)
 		<-release
 		return nil, errors.New("inflight finished")
@@ -239,7 +240,7 @@ func TestSingleflightCollapsesStub(t *testing.T) {
 	s := New(Config{Jobs: 2})
 	defer s.Close()
 	var runs int32
-	s.analyze = func(ctx context.Context, _ *obs.Span, _ *workloads.Workload, _ core.Config) (*core.Analysis, error) {
+	s.analyze = func(ctx context.Context, _ *obs.Span, _ *program.Program, _ core.Config) (*core.Analysis, error) {
 		atomic.AddInt32(&runs, 1)
 		waitUntil(t, func() bool { return s.Collapsed() >= 2 })
 		return nil, errors.New("shared result")

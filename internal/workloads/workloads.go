@@ -15,6 +15,7 @@ import (
 	"sync"
 
 	"needle/internal/ir"
+	"needle/internal/program"
 )
 
 // Suite names.
@@ -45,6 +46,9 @@ type Workload struct {
 
 	buildOnce sync.Once
 	cached    *ir.Function
+
+	progMu sync.Mutex
+	progs  map[int]*program.Program
 }
 
 // Function returns the kernel's hot function, building it on first use.
@@ -64,6 +68,35 @@ func (w *Workload) Instance(n int) (*ir.Function, []uint64, []uint64) {
 	mem := make([]uint64, w.MemWords(n))
 	args := w.Setup(mem, n)
 	return w.Function(), args, mem
+}
+
+// Program materializes the workload at problem size n (n <= 0 selects
+// DefaultN) as the pipeline's first-class input: the built kernel plus its
+// deterministic initial state, content-digested. Setup is deterministic, so
+// the instance for a given n never changes within a process; the Program
+// (and its lazily computed digest) is cached per size, making repeated
+// analyses — a config sweep, the warm-start benchmark — share one
+// materialization. The returned Program's Args/Memory are the pristine
+// read-only images the pipeline contract requires.
+func (w *Workload) Program(n int) (*program.Program, error) {
+	if n <= 0 {
+		n = w.DefaultN
+	}
+	w.progMu.Lock()
+	defer w.progMu.Unlock()
+	if p, ok := w.progs[n]; ok {
+		return p, nil
+	}
+	f, args, mem := w.Instance(n)
+	p, err := program.New(w.Name, w.Suite, f, args, mem)
+	if err != nil {
+		return nil, fmt.Errorf("workloads: %s at n=%d: %w", w.Name, n, err)
+	}
+	if w.progs == nil {
+		w.progs = make(map[int]*program.Program)
+	}
+	w.progs[n] = p
+	return p, nil
 }
 
 // rngFor returns the deterministic random stream for a workload name, so

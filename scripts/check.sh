@@ -36,6 +36,28 @@ echo "serve  ok (serve/pipeline/core under -race)"
 go test -race $(go list ./... | grep -vE '^needle/internal/(serve|pipeline|core)$')
 echo "tests  ok"
 
+# Every checked-in .nir program must parse and verify: the examples are
+# the documented entry points for `needle -nir` and the ir testdata seeds
+# the parser fuzzer, so a malformed file is a broken contract either way.
+nir_bin=$(mktemp)
+go build -o "$nir_bin" ./cmd/nir
+find examples internal/ir/testdata -name '*.nir' | sort | while read -r f; do
+    "$nir_bin" verify "$f" > /dev/null || {
+        echo "check: FAIL — $f does not verify" >&2
+        rm -f "$nir_bin"
+        exit 1
+    }
+done
+rm -f "$nir_bin"
+echo "nir    ok (all checked-in .nir programs verify)"
+
+# Opt-in fuzz smoke: CHECK_FUZZ=1 ./scripts/check.sh runs the parser/
+# verifier/printer round-trip fuzzer briefly on top of its corpus.
+if [ "${CHECK_FUZZ:-0}" = "1" ]; then
+    go test -run '^$' -fuzz '^FuzzParseVerify$' -fuzztime 10s ./internal/ir
+    echo "fuzz   ok (FuzzParseVerify, 10s smoke)"
+fi
+
 # Opt-in performance gate: CHECK_BENCH=1 ./scripts/check.sh also runs the
 # sweep benchmarks and fails on a >15% BenchmarkSweep regression.
 if [ "${CHECK_BENCH:-0}" = "1" ]; then
