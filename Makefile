@@ -1,7 +1,17 @@
-.PHONY: check build test bench bench-json
+.PHONY: check static build test bench bench-json
 
 check:
 	./scripts/check.sh
+
+# static runs just the Go static analyzers (both also run under `make
+# check`); staticcheck is skipped with a warning when not installed.
+static:
+	go vet ./...
+	@if command -v staticcheck > /dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "staticcheck not on PATH; skipped (go install honnef.co/go/tools/cmd/staticcheck@2025.1)" >&2; \
+	fi
 
 build:
 	go build ./...

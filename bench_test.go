@@ -26,10 +26,12 @@ import (
 	"needle/internal/pipeline"
 	"needle/internal/pm"
 	"needle/internal/profile"
+	"needle/internal/program"
 	"needle/internal/region"
 	"needle/internal/sim"
 	"needle/internal/spec"
 	"needle/internal/tables"
+	"needle/internal/vet"
 	"needle/internal/workloads"
 )
 
@@ -154,6 +156,32 @@ func BenchmarkSweep(b *testing.B) {
 		}
 		if len(s.Analyses) == 0 {
 			b.Fatal("empty sweep")
+		}
+	}
+}
+
+// BenchmarkVet measures the static-analysis diagnostic suite (SCCP, value
+// ranges, memory dependence, and the vet walk) over the whole workload set.
+// scripts/bench.sh records it as vet_ns_per_op; its companion gate is the
+// tightened sweep gate — vet's analyses are lazy and demand-computed, so a
+// sweep that never asks for them must not pay for their existence.
+func BenchmarkVet(b *testing.B) {
+	ws := workloads.All()
+	progs := make([]*program.Program, len(ws))
+	for i, w := range ws {
+		p, err := w.Program(benchN)
+		if err != nil {
+			b.Fatal(err)
+		}
+		progs[i] = p
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, p := range progs {
+			rep := vet.Check(nil, p)
+			if rep.HasErrors() {
+				b.Fatalf("workload %s has vet errors", p.Name)
+			}
 		}
 	}
 }

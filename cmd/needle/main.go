@@ -11,6 +11,8 @@
 //	needle -workload 470.lbm          detailed single-workload report
 //	needle -nir prog.nir              analyze a user .nir program from disk
 //	  [-entry f] [-mem 8192] [-args 5,f:2.5]   entry point, memory, arguments
+//	needle -vet -nir prog.nir         static-analysis diagnostics only [-json]
+//	needle -O -nir prog.nir           optimize (SCCP fold + DCE) before profiling
 //	needle -trace out.json            full sweep + Chrome trace timeline
 //	needle -all -metrics              any mode + counter dump on stderr
 //	needle -all -cache-dir ~/.needle  persist stage artifacts; warm-starts reruns
@@ -19,6 +21,12 @@
 // built-in workloads use; combine with -json, -dot, or the default report.
 // `needle -nir file -json` is byte-identical to POSTing the same source to
 // a needled daemon's /v1/analyze.
+//
+// -vet runs the static-analysis suite (SCCP, reachability, value ranges,
+// memory dependence) over a -nir program or a -workload kernel without
+// executing it, prints the diagnostics (-json for the machine-readable
+// report, byte-identical to /v1/vet), and exits non-zero when any
+// error-severity diagnostic is present.
 package main
 
 import (
@@ -38,6 +46,7 @@ import (
 	"needle/internal/pipeline"
 	"needle/internal/program"
 	"needle/internal/tables"
+	"needle/internal/vet"
 	"needle/internal/workloads"
 )
 
@@ -53,6 +62,8 @@ func main() {
 		memWords   = flag.Int("mem", 0, "memory words for the -nir program (0 = 4096)")
 		argList    = flag.String("args", "", "comma-separated -nir entry arguments: int64, or f:-prefixed float64")
 		n          = flag.Int("n", 0, "problem size override (0 = workload default)")
+		vetMode    = flag.Bool("vet", false, "run static-analysis diagnostics instead of analyzing (with -nir/-workload)")
+		optMode    = flag.Bool("O", false, "run the SCCP fold + DCE optimization stage before profiling")
 		jsonOut    = flag.Bool("json", false, "emit machine-readable JSON (with -workload/-nir or alone for all)")
 		dotOut     = flag.Bool("dot", false, "emit the hot braid frame's dataflow graph as Graphviz DOT (with -workload/-nir)")
 		emitNIR    = flag.Bool("emit-nir", false, "emit the workload's kernel as textual .nir (with -workload)")
@@ -87,6 +98,7 @@ func main() {
 		list: *list, table: *table, figure: *figure, all: *all,
 		workload: *workload, nirFile: *nirFile, entry: *entry,
 		memWords: *memWords, argList: *argList, n: *n,
+		vet: *vetMode, opt: *optMode,
 		jsonOut: *jsonOut, dotOut: *dotOut, emitNIR: *emitNIR,
 		jobs: *jobs, benchOut: *benchOut, observing: observing,
 	}, store)
@@ -136,6 +148,7 @@ type options struct {
 	workload                string
 	nirFile, entry, argList string
 	memWords, n             int
+	vet, opt                bool
 	jsonOut, dotOut         bool
 	emitNIR                 bool
 	jobs                    int
@@ -167,9 +180,12 @@ func dispatch(ctx context.Context, o options, store pipeline.Store) {
 
 	cfg := core.DefaultConfig()
 	cfg.N = o.n
+	cfg.Opt = o.opt
 	az := core.New(core.WithStore(store), core.WithJobs(o.jobs))
 
 	switch {
+	case o.vet:
+		runVet(o)
 	case o.benchOut:
 		benchJSON(ctx, cfg, o.jobs, store)
 	case o.nirFile != "":
@@ -267,6 +283,52 @@ func dispatch(ctx context.Context, o options, store pipeline.Store) {
 	default:
 		flag.Usage()
 		os.Exit(2)
+	}
+}
+
+// runVet loads the selected program (a -nir file or a -workload kernel),
+// runs the static-analysis diagnostic suite over it, prints the report
+// (-json for the machine-readable form, byte-identical to the needled
+// daemon's /v1/vet response), and exits non-zero when any error-severity
+// diagnostic is present.
+func runVet(o options) {
+	var p *program.Program
+	switch {
+	case o.nirFile != "":
+		var err error
+		p, err = program.LoadFile(o.nirFile, program.LoadOptions{
+			Entry:    o.entry,
+			MemWords: o.memWords,
+			Args:     splitArgs(o.argList),
+		})
+		if err != nil {
+			fatal("load %s: %v", o.nirFile, err)
+		}
+	case o.workload != "":
+		w := workloads.ByName(o.workload)
+		if w == nil {
+			fatal("unknown workload %q (try -list)", o.workload)
+		}
+		var err error
+		p, err = w.Program(o.n)
+		if err != nil {
+			fatal("workload %s: %v", o.workload, err)
+		}
+	default:
+		fatal("-vet needs a program: combine with -nir or -workload")
+	}
+	rep := vet.Check(nil, p)
+	if o.jsonOut {
+		out, err := vet.MarshalReport(rep)
+		if err != nil {
+			fatal("json: %v", err)
+		}
+		fmt.Println(string(out))
+	} else {
+		fmt.Print(rep.Text())
+	}
+	if rep.HasErrors() {
+		os.Exit(1)
 	}
 }
 

@@ -1,0 +1,221 @@
+// Static memory dependence: a base+offset classifier over load/store
+// address expressions. Each address register is normalized to a multiset
+// of opaque base registers plus a constant offset (offsets wrap mod 2^64,
+// exactly like the interpreter's address arithmetic); two accesses with
+// identical bases and equal offsets must alias, identical bases and
+// different offsets cannot alias, and anything else may alias.
+package analysis
+
+import (
+	"sort"
+
+	"needle/internal/ir"
+)
+
+// AliasClass classifies a pair of memory accesses.
+type AliasClass uint8
+
+const (
+	// MayAlias: the analysis cannot decide.
+	MayAlias AliasClass = iota
+	// MustAlias: the two addresses are provably equal in every execution.
+	MustAlias
+	// NoAlias: the two addresses are provably distinct in every execution.
+	NoAlias
+)
+
+func (c AliasClass) String() string {
+	switch c {
+	case MustAlias:
+		return "must"
+	case NoAlias:
+		return "no"
+	default:
+		return "may"
+	}
+}
+
+// AddrForm is a normalized address expression: the sum of the values of
+// Bases (a sorted multiset of registers the analysis treats as opaque)
+// plus Offset, with int64 wrapping semantics. Two forms with the same
+// base multiset differ by exactly (Offset1 - Offset2) in every execution.
+type AddrForm struct {
+	Bases  []ir.Reg
+	Offset int64
+}
+
+// maxAddrBases caps the multiset size; larger expressions collapse to a
+// single opaque base (the defining register itself).
+const maxAddrBases = 8
+
+// sameBases reports whether two sorted multisets are identical.
+func sameBases(a, b []ir.Reg) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Classify compares two normalized address forms.
+func Classify(a, b AddrForm) AliasClass {
+	if !sameBases(a.Bases, b.Bases) {
+		return MayAlias
+	}
+	if a.Offset == b.Offset {
+		return MustAlias
+	}
+	// Same opaque sum, different constant offsets: the addresses differ by
+	// a non-zero constant mod 2^64, so they are never equal. (Both sides
+	// wrap identically — the interpreter computes addresses with the same
+	// wrapping int64 arithmetic.)
+	return NoAlias
+}
+
+// MemDep holds normalized address forms for one function, indexed by the
+// defining register of each address expression.
+type MemDep struct {
+	f     *ir.Function
+	forms []AddrForm
+	have  []bool
+	// loadDerived marks registers whose value (transitively) depends on a
+	// load result — the signature of pointer-chasing / data-dependent
+	// addresses, which the Needle paper treats as self-aliasing offload
+	// candidates.
+	loadDerived []bool
+}
+
+// Addr returns the normalized form of the address register r.
+func (md *MemDep) Addr(r ir.Reg) AddrForm {
+	if r > ir.NoReg && int(r) < len(md.forms) && md.have[r] {
+		return md.forms[r]
+	}
+	if r <= ir.NoReg {
+		return AddrForm{}
+	}
+	return AddrForm{Bases: []ir.Reg{r}}
+}
+
+// LoadDerived reports whether r's value transitively depends on a load.
+func (md *MemDep) LoadDerived(r ir.Reg) bool {
+	return r > ir.NoReg && int(r) < len(md.loadDerived) && md.loadDerived[r]
+}
+
+// ClassifyRegs classifies the accesses addressed by registers a and b.
+func (md *MemDep) ClassifyRegs(a, b ir.Reg) AliasClass {
+	return Classify(md.Addr(a), md.Addr(b))
+}
+
+// ComputeMemDep normalizes every register's address form in f and runs the
+// load-derived fixpoint. f must be verified IR; it is not mutated.
+func ComputeMemDep(f *ir.Function) *MemDep {
+	md := &MemDep{
+		f:           f,
+		forms:       make([]AddrForm, len(f.RegType)),
+		have:        make([]bool, len(f.RegType)),
+		loadDerived: make([]bool, len(f.RegType)),
+	}
+
+	def := make([]*ir.Instr, len(f.RegType))
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op.HasDest() && in.Dst != ir.NoReg {
+				def[in.Dst] = in
+			}
+		}
+	}
+
+	// formOf normalizes r's expression. visiting guards against cycles
+	// through phis (a phi is always its own opaque base, but operand
+	// recursion could still loop through unverified self-references).
+	visiting := make([]bool, len(f.RegType))
+	var formOf func(r ir.Reg) AddrForm
+	opaque := func(r ir.Reg) AddrForm { return AddrForm{Bases: []ir.Reg{r}} }
+	formOf = func(r ir.Reg) AddrForm {
+		if r <= ir.NoReg || int(r) >= len(def) {
+			return AddrForm{}
+		}
+		if md.have[r] {
+			return md.forms[r]
+		}
+		if visiting[r] {
+			return opaque(r)
+		}
+		visiting[r] = true
+		defer func() {
+			visiting[r] = false
+			md.have[r] = true
+		}()
+		in := def[r]
+		if in == nil {
+			md.forms[r] = opaque(r) // parameter
+			return md.forms[r]
+		}
+		switch in.Op {
+		case ir.OpConst:
+			if in.Type == ir.I64 {
+				md.forms[r] = AddrForm{Offset: in.Imm}
+				return md.forms[r]
+			}
+		case ir.OpCopy:
+			md.forms[r] = formOf(in.Args[0])
+			return md.forms[r]
+		case ir.OpAdd:
+			a, b := formOf(in.Args[0]), formOf(in.Args[1])
+			bases := make([]ir.Reg, 0, len(a.Bases)+len(b.Bases))
+			bases = append(bases, a.Bases...)
+			bases = append(bases, b.Bases...)
+			if len(bases) <= maxAddrBases {
+				sort.Slice(bases, func(i, j int) bool { return bases[i] < bases[j] })
+				md.forms[r] = AddrForm{Bases: bases, Offset: a.Offset + b.Offset}
+				return md.forms[r]
+			}
+		case ir.OpSub:
+			a, b := formOf(in.Args[0]), formOf(in.Args[1])
+			if len(b.Bases) == 0 { // x - const
+				md.forms[r] = AddrForm{Bases: a.Bases, Offset: a.Offset - b.Offset}
+				return md.forms[r]
+			}
+		}
+		md.forms[r] = opaque(r)
+		return md.forms[r]
+	}
+	for r := ir.Reg(1); int(r) < len(def); r++ {
+		formOf(r)
+	}
+
+	// Load-derived fixpoint: seed with load destinations, then propagate
+	// through any instruction (including phis) reading a derived register.
+	for _, b := range f.Blocks {
+		for _, in := range b.Instrs {
+			if in.Op == ir.OpLoad && in.Dst != ir.NoReg {
+				md.loadDerived[in.Dst] = true
+			}
+		}
+	}
+	for changed := true; changed; {
+		changed = false
+		for _, b := range f.Blocks {
+			for _, in := range b.Instrs {
+				if !in.Op.HasDest() || in.Dst == ir.NoReg || md.loadDerived[in.Dst] {
+					continue
+				}
+				derived := false
+				in.Uses(func(r ir.Reg) {
+					if md.loadDerived[r] {
+						derived = true
+					}
+				})
+				if derived {
+					md.loadDerived[in.Dst] = true
+					changed = true
+				}
+			}
+		}
+	}
+	return md
+}

@@ -1,0 +1,312 @@
+// Value-range analysis: an interval lattice over I64 registers, computed
+// by round-robin iteration in reverse postorder with widening at loop
+// headers. The client is `needle -vet`'s out-of-bounds check — ranges for
+// the registers feeding load/store address operands — so the transfer
+// functions are deliberately conservative: anything that could wrap, trap,
+// or mix float bits goes straight to the full interval.
+package analysis
+
+import (
+	"math"
+
+	"needle/internal/ir"
+)
+
+// Interval is an inclusive signed range [Lo, Hi]. The full interval
+// [MinInt64, MaxInt64] means "unknown". Intervals never represent the
+// empty set: transfer functions produce facts about values that exist.
+type Interval struct {
+	Lo, Hi int64
+}
+
+// FullInterval is the top of the interval lattice: no information.
+var FullInterval = Interval{math.MinInt64, math.MaxInt64}
+
+// IsFull reports whether the interval carries no information.
+func (iv Interval) IsFull() bool { return iv == FullInterval }
+
+// Contains reports whether v lies in the interval.
+func (iv Interval) Contains(v int64) bool { return iv.Lo <= v && v <= iv.Hi }
+
+// hull is the smallest interval containing both a and b.
+func hull(a, b Interval) Interval {
+	if b.Lo < a.Lo {
+		a.Lo = b.Lo
+	}
+	if b.Hi > a.Hi {
+		a.Hi = b.Hi
+	}
+	return a
+}
+
+// widen returns old widened against next: any bound that moved jumps to
+// infinity in the direction of movement. Classic interval widening — it
+// guarantees each register changes at most twice more after its first
+// widening, which bounds the fixpoint iteration.
+func widen(old, next Interval) Interval {
+	w := old
+	if next.Lo < old.Lo {
+		w.Lo = math.MinInt64
+	}
+	if next.Hi > old.Hi {
+		w.Hi = math.MaxInt64
+	}
+	return w
+}
+
+// addSat is a+b clamped to the int64 range (used for interval bounds, not
+// value arithmetic — bound saturation is sound because it only widens).
+func addSat(a, b int64) int64 {
+	s := a + b
+	if (a > 0 && b > 0 && s < a) || (a < 0 && b < 0 && s > a) {
+		if a > 0 {
+			return math.MaxInt64
+		}
+		return math.MinInt64
+	}
+	return s
+}
+
+func subSat(a, b int64) int64 {
+	if b == math.MinInt64 {
+		if a >= 0 {
+			return math.MaxInt64
+		}
+		return addSat(a+math.MinInt64, math.MaxInt64) + 1 // a - MinInt64 without overflow
+	}
+	return addSat(a, -b)
+}
+
+// mulCheck returns a*b and whether it did not overflow.
+func mulCheck(a, b int64) (int64, bool) {
+	if a == 0 || b == 0 {
+		return 0, true
+	}
+	p := a * b
+	if p/b != a || (a == math.MinInt64 && b == -1) {
+		return 0, false
+	}
+	return p, true
+}
+
+// Ranges holds per-register intervals for one function. Registers the
+// analysis has no fact for report the full interval.
+type Ranges struct {
+	f   *ir.Function
+	ivs []Interval
+}
+
+// At returns the interval for r.
+func (rg *Ranges) At(r ir.Reg) Interval {
+	if r <= ir.NoReg || int(r) >= len(rg.ivs) {
+		return FullInterval
+	}
+	return rg.ivs[r]
+}
+
+// maxRangePasses caps round-robin iteration before the fallback kicks in.
+// Widening at loop-header phis bounds iteration on reducible CFGs; for
+// irreducible ones (legal NIR — untrusted input can ship them) any
+// register still changing after the cap is forced to full, after which
+// one more pass reaches a fixpoint because full never changes.
+const maxRangePasses = 10
+
+// ComputeRanges computes intervals for every register in f. dom supplies
+// the dominator tree used to find loop headers (back-edge targets);
+// blocks unreachable in the CFG are skipped.
+func ComputeRanges(f *ir.Function, dom *DomTree) *Ranges {
+	rg := &Ranges{f: f, ivs: make([]Interval, len(f.RegType))}
+	for i := range rg.ivs {
+		rg.ivs[i] = FullInterval
+	}
+	// known tracks registers with at least one computed fact: a phi hull
+	// must distinguish "operand not yet visited" (skip it, optimistic)
+	// from "operand unknown" (full, pessimistic).
+	known := make([]bool, len(f.RegType))
+	for i := 0; i < f.NumParams(); i++ {
+		known[f.Param(i)] = true // params are full but decided
+	}
+
+	isHeader := make([]bool, len(f.Blocks))
+	for _, e := range BackEdges(f, dom) {
+		isHeader[e.To.Index] = true
+	}
+	rpo := dom.RPO()
+
+	widenAll := false
+	for pass := 1; ; pass++ {
+		changed := false
+		for _, b := range rpo {
+			header := isHeader[b.Index]
+			for _, in := range b.Instrs {
+				if !in.Op.HasDest() {
+					continue
+				}
+				nv := rg.transfer(b, in, known)
+				old := rg.ivs[in.Dst]
+				if known[in.Dst] && nv != old {
+					switch {
+					case widenAll:
+						nv = FullInterval
+					case header && in.Op == ir.OpPhi && pass >= 2:
+						nv = widen(old, nv)
+					default:
+						nv = hull(old, nv)
+					}
+				}
+				if !known[in.Dst] || nv != old {
+					known[in.Dst] = true
+					rg.ivs[in.Dst] = nv
+					changed = true
+				}
+			}
+		}
+		if !changed {
+			return rg
+		}
+		if pass >= maxRangePasses {
+			widenAll = true
+		}
+	}
+}
+
+// transfer computes the interval of in's destination from current facts.
+func (rg *Ranges) transfer(b *ir.Block, in *ir.Instr, known []bool) Interval {
+	at := func(i int) Interval { return rg.At(in.Args[i]) }
+	switch in.Op {
+	case ir.OpConst:
+		if in.Type == ir.F64 {
+			return FullInterval
+		}
+		return Interval{in.Imm, in.Imm}
+	case ir.OpCopy:
+		return at(0)
+	case ir.OpAdd:
+		a, c := at(0), at(1)
+		if a.IsFull() || c.IsFull() {
+			return FullInterval
+		}
+		return Interval{addSat(a.Lo, c.Lo), addSat(a.Hi, c.Hi)}
+	case ir.OpSub:
+		a, c := at(0), at(1)
+		if a.IsFull() || c.IsFull() {
+			return FullInterval
+		}
+		return Interval{subSat(a.Lo, c.Hi), subSat(a.Hi, c.Lo)}
+	case ir.OpMul:
+		a, c := at(0), at(1)
+		if a.IsFull() || c.IsFull() {
+			return FullInterval
+		}
+		lo, hi := int64(math.MaxInt64), int64(math.MinInt64)
+		for _, x := range [2]int64{a.Lo, a.Hi} {
+			for _, y := range [2]int64{c.Lo, c.Hi} {
+				p, ok := mulCheck(x, y)
+				if !ok {
+					return FullInterval
+				}
+				if p < lo {
+					lo = p
+				}
+				if p > hi {
+					hi = p
+				}
+			}
+		}
+		return Interval{lo, hi}
+	case ir.OpAnd:
+		a, c := at(0), at(1)
+		// Masking with a known-nonnegative value bounds the result.
+		if a.Lo >= 0 && c.Lo >= 0 {
+			hi := a.Hi
+			if c.Hi < hi {
+				hi = c.Hi
+			}
+			return Interval{0, hi}
+		}
+		if c.Lo >= 0 && c.Lo == c.Hi {
+			return Interval{0, c.Hi} // x & mask with any x
+		}
+		if a.Lo >= 0 && a.Lo == a.Hi {
+			return Interval{0, a.Hi}
+		}
+		return FullInterval
+	case ir.OpOr, ir.OpXor:
+		a, c := at(0), at(1)
+		if a.Lo >= 0 && c.Lo >= 0 && a.Hi < math.MaxInt64 && c.Hi < math.MaxInt64 {
+			// Result stays within the combined bit width.
+			m := a.Hi | c.Hi
+			hi := int64(1)
+			for hi <= m && hi > 0 {
+				hi <<= 1
+			}
+			if hi <= 0 {
+				return FullInterval
+			}
+			return Interval{0, hi - 1}
+		}
+		return FullInterval
+	case ir.OpShl:
+		a, c := at(0), at(1)
+		if c.Lo == c.Hi && c.Lo >= 0 && c.Lo < 63 && a.Lo >= 0 && !a.IsFull() {
+			sh := uint(c.Lo)
+			hi, ok := mulCheck(a.Hi, 1<<sh)
+			if !ok {
+				return FullInterval
+			}
+			lo, _ := mulCheck(a.Lo, 1<<sh)
+			return Interval{lo, hi}
+		}
+		return FullInterval
+	case ir.OpShr:
+		a, c := at(0), at(1)
+		if c.Lo == c.Hi && c.Lo >= 0 && c.Lo < 64 && a.Lo >= 0 {
+			sh := uint(c.Lo & 63)
+			return Interval{a.Lo >> sh, a.Hi >> sh}
+		}
+		return FullInterval
+	case ir.OpRem:
+		d := at(1)
+		if d.Lo == d.Hi && d.Lo != 0 && d.Lo != math.MinInt64 {
+			m := d.Lo
+			if m < 0 {
+				m = -m
+			}
+			if at(0).Lo >= 0 {
+				return Interval{0, m - 1}
+			}
+			return Interval{-(m - 1), m - 1}
+		}
+		return FullInterval
+	case ir.OpCmpEQ, ir.OpCmpNE, ir.OpCmpLT, ir.OpCmpLE, ir.OpCmpGT, ir.OpCmpGE,
+		ir.OpFCmpEQ, ir.OpFCmpNE, ir.OpFCmpLT, ir.OpFCmpLE, ir.OpFCmpGT, ir.OpFCmpGE:
+		return Interval{0, 1}
+	case ir.OpSelect:
+		return hull(at(1), at(2))
+	case ir.OpPhi:
+		nv := Interval{}
+		have := false
+		for _, r := range in.Args {
+			if r > ir.NoReg && int(r) < len(known) && !known[r] {
+				continue // optimistic: unvisited incoming, refined later
+			}
+			iv := rg.At(r)
+			if !have {
+				nv, have = iv, true
+			} else {
+				nv = hull(nv, iv)
+			}
+			if nv.IsFull() {
+				return FullInterval
+			}
+		}
+		if !have {
+			// All incomings unvisited (dead loop): stay optimistic with a
+			// point interval at zero; later passes refine it.
+			return Interval{0, 0}
+		}
+		return nv
+	}
+	// Loads, calls, division, float ops, conversions: unknown.
+	return FullInterval
+}

@@ -197,7 +197,8 @@ func cloneInstr(in *ir.Instr, blockMap map[*ir.Block]*ir.Block) *ir.Instr {
 }
 
 // DeadCodeElim removes instructions whose results are never used and that
-// have no side effects (stores, calls, and terminators are kept). It
+// have no side effects (stores, calls, and terminators are kept; so are
+// div/rem, which can trap, and loads, which can fault out of bounds). It
 // mutates f in place and returns the number of instructions removed.
 func DeadCodeElim(f *ir.Function) int {
 	used := make([]bool, len(f.RegType))
@@ -212,7 +213,8 @@ func DeadCodeElim(f *ir.Function) int {
 		for _, b := range f.Blocks {
 			kept := b.Instrs[:0]
 			for _, in := range b.Instrs {
-				dead := in.Op.HasDest() && in.Op != ir.OpCall && in.Op != ir.OpLoad && !used[in.Dst]
+				dead := in.Op.HasDest() && in.Op != ir.OpCall && in.Op != ir.OpLoad &&
+					in.Op != ir.OpDiv && in.Op != ir.OpRem && !used[in.Dst]
 				if dead {
 					removed++
 					changed = true

@@ -90,6 +90,55 @@ func inlineDecode(a *Artifacts, data []byte) (any, error) {
 	return &InlineArtifact{AM: am, F: m.Funcs[0], Args: p.Args, Memory: p.Memory}, nil
 }
 
+// optPayload carries the Opt artifact: the optimized function as .nir text
+// plus the removal summary.
+type optPayload struct {
+	NIR                       string
+	InstrsBefore, InstrsAfter int
+	BlocksBefore, BlocksAfter int
+}
+
+func optEncode(_ *Artifacts, out any) ([]byte, error) {
+	art := out.(*OptArtifact)
+	text := ir.PrintModule(ir.ModuleOf(art.F))
+	// Same positional self-check as the inline artifact: downstream
+	// artifacts reference the optimized function by register number and
+	// block index.
+	m, err := ir.Parse(text)
+	if err != nil {
+		return nil, fmt.Errorf("pipeline: opt artifact does not re-parse: %w", err)
+	}
+	if re := ir.PrintModule(m); re != text {
+		return nil, errors.New("pipeline: opt artifact round-trip is not an identity")
+	}
+	return gobEncode(optPayload{
+		NIR:          text,
+		InstrsBefore: art.InstrsBefore, InstrsAfter: art.InstrsAfter,
+		BlocksBefore: art.BlocksBefore, BlocksAfter: art.BlocksAfter,
+	})
+}
+
+func optDecode(a *Artifacts, data []byte) (any, error) {
+	var p optPayload
+	if err := gobDecode(data, &p); err != nil {
+		return nil, err
+	}
+	m, err := ir.Parse(p.NIR)
+	if err != nil {
+		return nil, err
+	}
+	if len(m.Funcs) == 0 {
+		return nil, errors.New("pipeline: opt artifact has no functions")
+	}
+	am := pm.NewManager()
+	am.SetSpan(a.Span)
+	return &OptArtifact{
+		AM: am, F: m.Funcs[0],
+		InstrsBefore: p.InstrsBefore, InstrsAfter: p.InstrsAfter,
+		BlocksBefore: p.BlocksBefore, BlocksAfter: p.BlocksAfter,
+	}, nil
+}
+
 func profileEncode(_ *Artifacts, out any) ([]byte, error) {
 	return gobEncode(out.(*ProfileArtifact).Trace.Data())
 }
@@ -99,7 +148,11 @@ func profileDecode(a *Artifacts, data []byte) (any, error) {
 	if err := gobDecode(data, &d); err != nil {
 		return nil, err
 	}
-	tr, err := sim.TraceFromData(a.Inline.AM, a.Inline.F, &d)
+	// Attach to the function the profile was captured over: the optimized
+	// one when the Opt stage ran (its fingerprint is in this artifact's
+	// key, so the pairing can never be stale).
+	am, f := a.HotFunc()
+	tr, err := sim.TraceFromData(am, f, &d)
 	if err != nil {
 		return nil, err
 	}

@@ -37,8 +37,10 @@ import (
 
 // Observability counters (no-ops until obs.Enable).
 var (
-	obsRuns      = obs.GetCounter("pipeline.runs")
-	obsFrameErrs = obs.GetCounter("pipeline.frame.errors")
+	obsRuns       = obs.GetCounter("pipeline.runs")
+	obsFrameErrs  = obs.GetCounter("pipeline.frame.errors")
+	obsOptRuns    = obs.GetCounter("pipeline.opt.runs")
+	obsOptRemoved = obs.GetCounter("pipeline.opt.removed")
 )
 
 // Config controls an analysis run. It is the same type the core package
@@ -55,6 +57,13 @@ type Config struct {
 	ColdFraction float64
 	// SelectTopK bounds the filter-and-rank candidate search.
 	SelectTopK int
+	// Opt enables the opt-in optimization pre-pass (`needle -O`): SCCP
+	// folding plus dead-code and unreachable-block elimination between the
+	// Inline and Profile stages. Default off — the baseline profiles the
+	// program exactly as written. The flag is part of every downstream
+	// stage's fingerprint, so optimized and unoptimized artifacts never
+	// cross-hit a store.
+	Opt bool
 }
 
 // DefaultConfig returns the paper's evaluation configuration.
@@ -104,6 +113,18 @@ type InlineArtifact struct {
 	Memory []uint64
 }
 
+// OptArtifact is the Opt stage's output: the inlined function after the
+// `-O` pipeline (SCCP folding, DCE, CFG simplification to a fixed point),
+// with its own analysis manager. Produced only when Config.Opt is set.
+type OptArtifact struct {
+	AM *pm.Manager
+	F  *ir.Function
+	// InstrsBefore/InstrsAfter and BlocksBefore/BlocksAfter summarize what
+	// the optimizer removed, for reports and spans.
+	InstrsBefore, InstrsAfter int
+	BlocksBefore, BlocksAfter int
+}
+
 // ProfileArtifact is the Profile stage's output: the captured baseline
 // execution (Ball-Larus path profile, per-occurrence cycle attribution,
 // branch histories, host energy).
@@ -146,10 +167,21 @@ type Artifacts struct {
 	Span *obs.Span
 
 	Inline  *InlineArtifact
+	Opt     *OptArtifact
 	Profile *ProfileArtifact
 	Select  *SelectArtifact
 	Frame   *FrameArtifact
 	Target  *TargetArtifact
+}
+
+// HotFunc returns the function downstream stages profile and select over,
+// with the analysis manager that owns its cached analyses: the optimized
+// function when the Opt stage ran, the inlined function otherwise.
+func (a *Artifacts) HotFunc() (*pm.Manager, *ir.Function) {
+	if a.Opt != nil {
+		return a.Opt.AM, a.Opt.F
+	}
+	return a.Inline.AM, a.Inline.F
 }
 
 // Report returns the named backend's report, or nil if the Target stage has
@@ -192,10 +224,15 @@ type Stage struct {
 	// (Target, which is never cached) are served by the memory tier only.
 	encode func(a *Artifacts, out any) ([]byte, error)
 	decode func(a *Artifacts, data []byte) (any, error)
+	// skip, when non-nil and true for a config, elides the stage entirely
+	// for that run (no span, no cache entry, no artifact). The stage's
+	// fingerprint still participates in every downstream cache key, so
+	// skipped and unskipped runs can never share downstream artifacts.
+	skip func(Config) bool
 }
 
 // stages is the pipeline in execution order.
-var stages = []Stage{inlineStage, profileStage, selectStage, frameStage, targetStage}
+var stages = []Stage{inlineStage, optStage, profileStage, selectStage, frameStage, targetStage}
 
 // StageNames lists the pipeline's stages in execution order.
 func StageNames() []string {
@@ -264,6 +301,44 @@ var inlineStage = Stage{
 	decode: inlineDecode,
 }
 
+var optStage = Stage{
+	Name: "opt",
+	// The flag itself is the whole fingerprint: with Opt off the stage is
+	// skipped, and the "opt=false" key segment keeps unoptimized runs from
+	// ever sharing downstream artifacts with optimized ones.
+	Fingerprint: func(c Config) string { return fmt.Sprintf("opt=%t", c.Opt) },
+	cacheable:   true,
+	skip:        func(c Config) bool { return !c.Opt },
+	run: func(a *Artifacts, sp *obs.Span) (any, error) {
+		in := a.Inline
+		am := pm.NewManager()
+		am.SetSpan(a.Span)
+		// Clone first: the inline artifact may be shared with other runs
+		// (including unoptimized ones) through the store.
+		clone := ir.CloneFunction(in.F)
+		f, err := pm.NewPassManager(am).Add(passes.SCCPPasses()...).RunFixedPoint(clone)
+		if err != nil {
+			return nil, fmt.Errorf("pipeline: optimizing %s: %w", a.Program.Name, err)
+		}
+		if verr := ir.Verify(f); verr != nil {
+			return nil, fmt.Errorf("pipeline: optimizer broke %s: %w", a.Program.Name, verr)
+		}
+		art := &OptArtifact{
+			AM: am, F: f,
+			InstrsBefore: in.F.NumInstrs(), InstrsAfter: f.NumInstrs(),
+			BlocksBefore: len(in.F.Blocks), BlocksAfter: len(f.Blocks),
+		}
+		obsOptRuns.Add(1)
+		obsOptRemoved.Add(int64(art.InstrsBefore - art.InstrsAfter))
+		sp.SetArg("instrs", fmt.Sprintf("%d->%d", art.InstrsBefore, art.InstrsAfter)).
+			SetArg("blocks", fmt.Sprintf("%d->%d", art.BlocksBefore, art.BlocksAfter))
+		return art, nil
+	},
+	apply:  func(a *Artifacts, out any) { a.Opt = out.(*OptArtifact) },
+	encode: optEncode,
+	decode: optDecode,
+}
+
 var profileStage = Stage{
 	Name: "profile",
 	Fingerprint: func(c Config) string {
@@ -276,11 +351,12 @@ var profileStage = Stage{
 	cacheable: true,
 	run: func(a *Artifacts, sp *obs.Span) (any, error) {
 		in := a.Inline
+		am, f := a.HotFunc()
 		// Execution consumes the memory image; copy the pristine state so
 		// the shared InlineArtifact stays reusable.
 		args := append([]uint64(nil), in.Args...)
 		memory := append([]uint64(nil), in.Memory...)
-		tr, err := sim.Capture(in.AM, in.F, args, memory, a.Config.Sim)
+		tr, err := sim.Capture(am, f, args, memory, a.Config.Sim)
 		if err != nil {
 			return nil, fmt.Errorf("pipeline: capturing %s: %w", a.Program.Name, err)
 		}
@@ -298,7 +374,8 @@ var selectStage = Stage{
 	cacheable:   true,
 	run: func(a *Artifacts, sp *obs.Span) (any, error) {
 		csp := sp.Child("characterize")
-		stats := region.Characterize(a.Inline.AM, a.Inline.F)
+		am, f := a.HotFunc()
+		stats := region.Characterize(am, f)
 		csp.End()
 		bsp := sp.Child("braids")
 		braids := region.BuildBraids(a.Profile.Trace.Profile, 0)
@@ -319,7 +396,8 @@ var frameStage = Stage{
 		if len(a.Select.Braids) == 0 {
 			return out, nil
 		}
-		fr, err := frame.Build(a.Inline.AM, &a.Select.Braids[0].Region, a.Config.Sim.Frame)
+		am, _ := a.HotFunc()
+		fr, err := frame.Build(am, &a.Select.Braids[0].Region, a.Config.Sim.Frame)
 		if err != nil {
 			// Frame construction failing for the hot braid is survivable —
 			// the target evaluations run regardless — but it must not be
@@ -414,6 +492,9 @@ func Run(p *program.Program, cfg Config, opts RunOptions) (*Artifacts, error) {
 	keys := stageKeys(p, cfg)
 	for i := range stages {
 		st := &stages[i]
+		if st.skip != nil && st.skip(cfg) {
+			continue
+		}
 		if opts.Ctx != nil {
 			if err := opts.Ctx.Err(); err != nil {
 				return nil, err

@@ -23,7 +23,7 @@ func prog(t *testing.T, w *workloads.Workload, n int) *program.Program {
 }
 
 func TestStageNamesInOrder(t *testing.T) {
-	want := []string{"inline", "profile", "select", "frame", "target"}
+	want := []string{"inline", "opt", "profile", "select", "frame", "target"}
 	got := StageNames()
 	if len(got) != len(want) {
 		t.Fatalf("StageNames() = %v, want %v", got, want)

@@ -49,6 +49,12 @@ const (
 	KindControlDeps
 	// KindExecPlan is the interpreter's compiled execution plan.
 	KindExecPlan
+	// KindSCCP is the sparse-conditional-constant-propagation fixpoint.
+	KindSCCP
+	// KindRanges is the per-register value-range (interval) analysis.
+	KindRanges
+	// KindMemDep is the base+offset memory-dependence classifier.
+	KindMemDep
 
 	numKinds
 )
@@ -71,6 +77,12 @@ func (k Kind) String() string {
 		return "ctrldeps"
 	case KindExecPlan:
 		return "execplan"
+	case KindSCCP:
+		return "sccp"
+	case KindRanges:
+		return "ranges"
+	case KindMemDep:
+		return "memdep"
 	}
 	return fmt.Sprintf("kind(%d)", uint8(k))
 }
@@ -122,6 +134,9 @@ type funcCache struct {
 	loops    []*analysis.Loop
 	ctrlDeps map[*ir.Block][]*ir.Block
 	plan     *interp.Plan
+	sccp     *analysis.SCCP
+	ranges   *analysis.Ranges
+	memdep   *analysis.MemDep
 	// present tracks which fields are valid (a computed-but-empty result is
 	// still a cache hit).
 	present [numKinds]bool
@@ -306,6 +321,41 @@ func (m *Manager) ExecPlan(f *ir.Function) *interp.Plan {
 	return c.plan
 }
 
+// SCCP returns the cached sparse-conditional-constant-propagation fixpoint
+// of f: per-register lattice values plus block/edge executability.
+func (m *Manager) SCCP(f *ir.Function) *analysis.SCCP {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindSCCP) {
+		c.sccp = analysis.ComputeSCCP(f)
+	}
+	return c.sccp
+}
+
+// Ranges returns the cached value-range analysis of f (interval lattice
+// with widening at loop headers).
+func (m *Manager) Ranges(f *ir.Function) *analysis.Ranges {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindRanges) {
+		c.ranges = analysis.ComputeRanges(f, m.dom(f))
+	}
+	return c.ranges
+}
+
+// MemDep returns the cached base+offset memory-dependence classifier of f.
+func (m *Manager) MemDep(f *ir.Function) *analysis.MemDep {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c := m.entry(f)
+	if !m.hit(c, KindMemDep) {
+		c.memdep = analysis.ComputeMemDep(f)
+	}
+	return c.memdep
+}
+
 // BackEdges returns the dominance back edges of f. The walk is linear in the
 // CFG and derived from the cached dominator tree, so it is recomputed per
 // call rather than cached.
@@ -364,6 +414,12 @@ func (m *Manager) InvalidateExcept(f *ir.Function, p Preserved) {
 			c.ctrlDeps = nil
 		case KindExecPlan:
 			c.plan = nil
+		case KindSCCP:
+			c.sccp = nil
+		case KindRanges:
+			c.ranges = nil
+		case KindMemDep:
+			c.memdep = nil
 		}
 	}
 	if dropped {

@@ -1,0 +1,55 @@
+package pm_test
+
+import (
+	"testing"
+
+	"needle/internal/pm"
+)
+
+// TestSemanticKindsCachedAndInvalidated: the three semantic analyses are
+// cached like every other kind, survive a PreserveAll round, and drop on
+// any invalidation short of it (they read instructions, so PreserveCFG —
+// what const-fold/DCE/CSE declare — must not keep them).
+func TestSemanticKindsCachedAndInvalidated(t *testing.T) {
+	f := parse(t, loopSrc)
+	am := pm.NewManager()
+
+	s1, r1, d1 := am.SCCP(f), am.Ranges(f), am.MemDep(f)
+	if s2 := am.SCCP(f); s2 != s1 {
+		t.Fatal("SCCP not cached")
+	}
+	if r2 := am.Ranges(f); r2 != r1 {
+		t.Fatal("Ranges not cached")
+	}
+	if d2 := am.MemDep(f); d2 != d1 {
+		t.Fatal("MemDep not cached")
+	}
+
+	am.InvalidateExcept(f, pm.PreserveAll())
+	if am.SCCP(f) != s1 || am.Ranges(f) != r1 || am.MemDep(f) != d1 {
+		t.Fatal("PreserveAll dropped a semantic analysis")
+	}
+
+	am.InvalidateExcept(f, pm.PreserveCFG())
+	if am.SCCP(f) == s1 {
+		t.Fatal("PreserveCFG must not keep SCCP (it reads instructions)")
+	}
+	if am.Ranges(f) == r1 {
+		t.Fatal("PreserveCFG must not keep Ranges")
+	}
+	if am.MemDep(f) == d1 {
+		t.Fatal("PreserveCFG must not keep MemDep")
+	}
+}
+
+func TestSemanticKindStrings(t *testing.T) {
+	for k, want := range map[pm.Kind]string{
+		pm.KindSCCP:   "sccp",
+		pm.KindRanges: "ranges",
+		pm.KindMemDep: "memdep",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

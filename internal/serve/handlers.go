@@ -19,12 +19,14 @@ import (
 	"needle/internal/obs"
 	"needle/internal/pipeline"
 	"needle/internal/program"
+	"needle/internal/vet"
 	"needle/internal/workloads"
 )
 
 func (s *Server) routes() {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("/v1/analyze", s.handleAnalyze)
+	s.mux.HandleFunc("/v1/vet", s.handleVet)
 	s.mux.HandleFunc("/v1/sweep", s.handleSweep)
 	s.mux.HandleFunc("/v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("/healthz", s.handleHealthz)
@@ -209,6 +211,78 @@ func (s *Server) handleAnalyze(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Needle-Schema-Version", fmt.Sprint(core.SummarySchemaVersion))
 	w.Write(body) //nolint:errcheck // response write
+}
+
+// handleVet serves POST /v1/vet: the static-analysis diagnostic suite over
+// one program — a built-in workload or inline .nir source, selected exactly
+// like /v1/analyze and under the same ingestion limits — without executing
+// it. The response is the vet report, byte-identical to
+// `needle -vet -json` for the same program (plus the trailing newline
+// Println emits). Diagnostics, including error severity, are the payload:
+// the HTTP status is 200 whenever the program ingests.
+func (s *Server) handleVet(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		writeJSONError(w, http.StatusMethodNotAllowed, "POST required")
+		return
+	}
+	var req analyzeRequest
+	if err := s.decodeBody(w, r, &req, false); err != nil {
+		writeJSONError(w, requestStatus(err), err.Error())
+		return
+	}
+	p, _, errStatus, err := s.resolveProgram(&req)
+	if err != nil {
+		writeJSONError(w, errStatus, err.Error())
+		return
+	}
+	ctx, cancel := s.requestContext(r, req.TimeoutMs)
+	defer cancel()
+	body, err := s.vetBytes(ctx, p)
+	if err != nil {
+		s.writeError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Needle-Vet-Schema-Version", fmt.Sprint(vet.ReportSchemaVersion))
+	w.Write(body) //nolint:errcheck // response write
+}
+
+// vetBytes queues one vet run and marshals its report into the
+// CLI-identical payload. Vet is pure static analysis — cheap relative to a
+// pipeline run — but it still parses and walks untrusted programs, so it
+// occupies a pool slot like every other unit of work.
+func (s *Server) vetBytes(ctx context.Context, p *program.Program) ([]byte, error) {
+	var (
+		body []byte
+		rerr error
+		ran  bool
+	)
+	j := &job{ctx: ctx, done: make(chan struct{})}
+	j.run = func() {
+		ran = true
+		rep := vet.Check(nil, p)
+		out, err := vet.MarshalReport(rep)
+		if err != nil {
+			rerr = err
+			return
+		}
+		body = append(out, '\n')
+	}
+	if err := s.submit(j); err != nil {
+		return nil, err
+	}
+	select {
+	case <-j.done:
+		if !ran {
+			return nil, ctx.Err()
+		}
+		if rerr == nil {
+			obsVetOK.Add(1)
+		}
+		return body, rerr
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
 }
 
 // resolveProgram turns an analyze request into the program to run and the

@@ -41,6 +41,7 @@ import (
 var (
 	obsRequests      = obs.GetCounter("serve.requests")
 	obsAnalyzeOK     = obs.GetCounter("serve.analyze.ok")
+	obsVetOK         = obs.GetCounter("serve.vet.ok")
 	obsSweeps        = obs.GetCounter("serve.sweeps")
 	obsCollapsed     = obs.GetCounter("serve.singleflight.collapsed")
 	obsRejectedQueue = obs.GetCounter("serve.rejected.queue")

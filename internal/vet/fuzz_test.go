@@ -1,0 +1,66 @@
+package vet
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"needle/internal/program"
+)
+
+// FuzzVetAnalyses drives untrusted .nir text through the full vet stack —
+// parse/verify ingestion, then SCCP, reachability, value ranges, memory
+// dependence, and the diagnostic walk. The /v1/vet endpoint feeds these
+// analyses attacker-controlled programs, so the contract is: any input the
+// loader accepts vets without panicking, and vetting the same program twice
+// yields byte-identical reports (the ordering the JSON golden files pin is
+// deterministic, not map-order luck).
+func FuzzVetAnalyses(f *testing.F) {
+	paths, err := filepath.Glob(filepath.Join("..", "..", "examples", "nir", "*.nir"))
+	if err != nil || len(paths) == 0 {
+		f.Fatalf("no example corpus: %v", err)
+	}
+	for _, p := range paths {
+		src, err := os.ReadFile(p)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(string(src))
+	}
+	// Adversarial shapes aimed at the analyses rather than the parser:
+	// div/rem by zero (SCCP must not fold the trap away), address arithmetic
+	// that wraps int64, self-referential phi cycles (range widening and the
+	// memdep form walk must terminate), a provably out-of-bounds access, and
+	// a constant branch into an unreachable diamond.
+	f.Add("func @f() {\nentry:\n  r1 = const.i64 7\n  r2 = const.i64 0\n  r3 = div r1, r2\n  ret r3\n}\n")
+	f.Add("func @f() {\nentry:\n  r1 = const.i64 9223372036854775807\n  r2 = add r1, r1\n  r3 = load.i64 r2\n  ret r3\n}\n")
+	f.Add("func @f(i64) {\nentry:\n  br %loop\nloop:\n  r2 = phi.i64 [entry: r1] [loop: r3]\n  r3 = add r2, r2\n  condbr r3, %loop, %done\ndone:\n  ret r2\n}\n")
+	f.Add("func @f() {\nentry:\n  r1 = const.i64 -1\n  r2 = load.i64 r1\n  ret r2\n}\n")
+	f.Add("func @f() {\nentry:\n  r1 = const.i64 0\n  condbr r1, %a, %b\na:\n  br %c\nb:\n  br %c\nc:\n  r2 = phi.i64 [a: r1] [b: r1]\n  ret r2\n}\n")
+
+	f.Fuzz(func(t *testing.T, src string) {
+		p, err := program.Load(src, program.LoadOptions{})
+		if err != nil {
+			return // rejected input is fine; panics are not
+		}
+		rep := Check(nil, p)
+		out, err := MarshalReport(rep)
+		if err != nil {
+			t.Fatalf("report does not marshal: %v", err)
+		}
+		// Fresh analyses over the same program must reproduce the bytes.
+		again, err := MarshalReport(Check(nil, p))
+		if err != nil {
+			t.Fatalf("second report does not marshal: %v", err)
+		}
+		if !bytes.Equal(out, again) {
+			t.Fatalf("vet is nondeterministic:\nfirst:\n%s\nsecond:\n%s", out, again)
+		}
+		if rep.Errors < 0 || rep.Warnings < 0 || rep.Infos < 0 ||
+			rep.Errors+rep.Warnings+rep.Infos != len(rep.Diagnostics) {
+			t.Fatalf("severity counts inconsistent: %d/%d/%d over %d diagnostics",
+				rep.Errors, rep.Warnings, rep.Infos, len(rep.Diagnostics))
+		}
+	})
+}

@@ -16,7 +16,11 @@
 #   - BenchmarkSweepWarmStart/warm — the full sweep warm-started from a
 #     persistent artifact store (fresh memory tier, as a new process would
 #     see it) — more than 15% slower than warmstart_warm_ns_per_op, or less
-#     than 1.5x faster than its own /cold variant (the disk tier's win).
+#     than 1.5x faster than its own /cold variant (the disk tier's win);
+#   - BenchmarkVet — the static-analysis diagnostic suite over the whole
+#     workload set — more than 15% slower than vet_ns_per_op; additionally
+#     BenchmarkSweep gets a tight 2% gate against sweep_ns_per_op, pinning
+#     that the lazily-computed vet analyses cost a default sweep nothing.
 #
 #   ./scripts/bench.sh            (or: make bench)
 #   BENCH_TIME=10x ./scripts/bench.sh   # more iterations, less noise
@@ -28,13 +32,13 @@
 #
 # To accept a new baseline after an intentional change, update
 # scripts/bench_baseline.json with the sweep_ns_per_op, capture_ns_per_op,
-# ablation_cached_ns_per_op, and warmstart_warm_ns_per_op this script
-# reports.
+# ablation_cached_ns_per_op, warmstart_warm_ns_per_op, and vet_ns_per_op
+# this script reports.
 set -eu
 
 cd "$(dirname "$0")/.."
 
-benches='^(BenchmarkSweep|BenchmarkSweepWarmStart|BenchmarkCapture|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor)$'
+benches='^(BenchmarkSweep|BenchmarkSweepWarmStart|BenchmarkCapture|BenchmarkInterpreter|BenchmarkPathProfiling|BenchmarkPathDecode|BenchmarkOOOModel|BenchmarkAblationPredictor|BenchmarkVet)$'
 benchtime="${BENCH_TIME:-5x}"
 
 echo "running sweep benchmarks (benchtime $benchtime)..."
@@ -69,6 +73,11 @@ if [ -z "$ws_cold" ] || [ -z "$ws_warm" ]; then
     echo "bench: BenchmarkSweepWarmStart produced no result" >&2
     exit 1
 fi
+vet=$(ns_of BenchmarkVet)
+if [ -z "$vet" ]; then
+    echo "bench: BenchmarkVet produced no result" >&2
+    exit 1
+fi
 
 date=$(date +%Y-%m-%d)
 file="BENCH_${date}.json"
@@ -83,11 +92,12 @@ file="BENCH_${date}.json"
     echo "  \"ablation_cached_ns_per_op\": ${abl_cached},"
     echo "  \"warmstart_cold_ns_per_op\": ${ws_cold},"
     echo "  \"warmstart_warm_ns_per_op\": ${ws_warm},"
+    echo "  \"vet_ns_per_op\": ${vet},"
     echo "  \"benchmarks\": {"
     first=1
     for b in BenchmarkSweep BenchmarkCapture BenchmarkInterpreter BenchmarkPathProfiling BenchmarkPathDecode BenchmarkOOOModel \
              BenchmarkAblationPredictor/fresh BenchmarkAblationPredictor/cached \
-             BenchmarkSweepWarmStart/cold BenchmarkSweepWarmStart/warm; do
+             BenchmarkSweepWarmStart/cold BenchmarkSweepWarmStart/warm BenchmarkVet; do
         ns=$(ns_of "$b")
         [ -z "$ns" ] && continue
         [ "$first" = 1 ] || echo ","
@@ -136,19 +146,20 @@ if [ ! -f "$baseline" ]; then
     exit 0
 fi
 
-# gate NAME CURRENT BASELINE-KEY: fail if CURRENT is >15% over the baseline.
+# gate NAME CURRENT BASELINE-KEY [PCT]: fail if CURRENT is more than PCT%
+# (default 15) over the baseline.
 gate() {
-    name=$1; cur=$2; key=$3
+    name=$1; cur=$2; key=$3; pct=${4:-15}
     base=$(sed -n 's/.*"'"$key"'": *\([0-9][0-9]*\).*/\1/p' "$baseline" | head -n 1)
     if [ -z "$base" ]; then
         echo "bench: baseline $baseline has no $key" >&2
         exit 1
     fi
-    echo "$name: ${cur} ns/op (baseline ${base} ns/op)"
-    awk -v cur="$cur" -v base="$base" -v name="$name" 'BEGIN {
-        limit = base * 1.15
+    echo "$name: ${cur} ns/op (baseline ${base} ns/op, gate ${pct}%)"
+    awk -v cur="$cur" -v base="$base" -v name="$name" -v pct="$pct" 'BEGIN {
+        limit = base * (1 + pct / 100)
         if (cur > limit) {
-            printf "bench: FAIL — %s regressed %.1f%% (>15%% over baseline)\n", name, (cur/base - 1) * 100
+            printf "bench: FAIL — %s regressed %.1f%% (>%d%% over baseline)\n", name, (cur/base - 1) * 100, pct
             exit 1
         }
         if (cur < base) printf "bench: ok — %s %.1f%% faster than baseline\n", name, (1 - cur/base) * 100
@@ -160,3 +171,10 @@ gate sweep "$sweep" sweep_ns_per_op
 gate capture "$cap" capture_ns_per_op
 gate ablation-cached "$abl_cached" ablation_cached_ns_per_op
 gate warmstart-warm "$ws_warm" warmstart_warm_ns_per_op
+gate vet "$vet" vet_ns_per_op
+
+# Vet-overhead gate: the semantic analyses are registered pm.Kinds that a
+# default (-O off) sweep never requests, so their existence must be close to
+# free — the sweep gets a 2% gate against the same baseline, far tighter
+# than the generic 15% regression gate above.
+gate sweep-vet-overhead "$sweep" sweep_ns_per_op 2

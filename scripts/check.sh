@@ -21,6 +21,17 @@ echo "gofmt  ok"
 go vet ./...
 echo "vet    ok"
 
+# staticcheck (honnef.co/go/tools, pinned: 2025.1 or newer) when the binary
+# is on PATH; skipped with a warning otherwise so the gate stays runnable on
+# machines that cannot install tools. Install with:
+#   go install honnef.co/go/tools/cmd/staticcheck@2025.1
+if command -v staticcheck > /dev/null 2>&1; then
+    staticcheck ./...
+    echo "static ok (staticcheck $(staticcheck -version 2> /dev/null | head -n 1))"
+else
+    echo "static SKIPPED — staticcheck not on PATH (go install honnef.co/go/tools/cmd/staticcheck@2025.1)" >&2
+fi
+
 go build ./...
 echo "build  ok"
 
